@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the simulator's substrate components.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rfp_mem::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy};
+use rfp_predictors::{PrefetchTable, PrefetchTableConfig, PtDecision};
+use rfp_types::{Addr, Pc};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut cache = Cache::new(CacheConfig {
+        size_bytes: 48 << 10,
+        ways: 12,
+        latency: 5,
+    })
+    .expect("valid");
+    // Warm a working set.
+    for i in 0..512u64 {
+        cache.fill(Addr::new(i * 64));
+    }
+    let mut i = 0u64;
+    c.bench_function("cache_access_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(cache.access(Addr::new(i * 64)))
+        })
+    });
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut mem = MemoryHierarchy::new(HierarchyConfig::tiger_lake()).expect("valid");
+    let mut t = 0u64;
+    let mut i = 0u64;
+    c.bench_function("hierarchy_access_stream", |b| {
+        b.iter(|| {
+            i += 8;
+            t += 3;
+            black_box(mem.access(Addr::new(0x10_0000 + (i % 4096)), t, false))
+        })
+    });
+}
+
+fn bench_prefetch_table(c: &mut Criterion) {
+    let mut pt = PrefetchTable::new(PrefetchTableConfig {
+        confidence_increment_prob: 1.0,
+        ..PrefetchTableConfig::default()
+    })
+    .expect("valid");
+    let pc = Pc::new(0x40_0100);
+    for i in 0..64u64 {
+        pt.on_allocate(pc);
+        pt.on_retire(pc, Addr::new(0x1000 + i * 8));
+    }
+    let mut i = 64u64;
+    c.bench_function("prefetch_table_allocate_retire", |b| {
+        b.iter(|| {
+            i += 1;
+            let d = pt.on_allocate(pc);
+            pt.on_retire(pc, Addr::new(0x1000 + i * 8));
+            black_box(matches!(d, PtDecision::Prefetch(_)))
+        })
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let w = rfp_trace::by_name("spec17_gcc").expect("in suite");
+    c.bench_function("trace_generation_10k_uops", |b| {
+        b.iter(|| {
+            let n = w.trace(10_000).filter(|op| op.kind.is_load()).count();
+            black_box(n)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_hierarchy,
+    bench_prefetch_table,
+    bench_trace_generation
+);
+criterion_main!(benches);

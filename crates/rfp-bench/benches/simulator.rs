@@ -1,0 +1,59 @@
+//! End-to-end simulator throughput under each of the paper's feature
+//! configurations (baseline, RFP, value prediction, oracle) — one bench
+//! per headline experiment family, so `cargo bench` exercises every
+//! table/figure code path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfp_core::{simulate_workload, CoreConfig, OracleMode, VpMode};
+use rfp_predictors::{DlvpConfig, ValuePredictorConfig};
+
+const LEN: u64 = 8_000;
+
+fn configs() -> Vec<(&'static str, CoreConfig)> {
+    let mut composite = CoreConfig::tiger_lake();
+    composite.vp = VpMode::Composite(ValuePredictorConfig::default(), DlvpConfig::default());
+    let mut fused = CoreConfig::tiger_lake().with_rfp();
+    fused.vp = VpMode::Eves(ValuePredictorConfig::default());
+    vec![
+        ("baseline_fig2", CoreConfig::tiger_lake()),
+        ("rfp_fig10", CoreConfig::tiger_lake().with_rfp()),
+        ("oracle_l1_fig1", CoreConfig::tiger_lake().with_oracle(OracleMode::L1ToRf)),
+        ("baseline2x_fig12", CoreConfig::baseline_2x()),
+        ("composite_vp_fig15", composite),
+        ("vp_plus_rfp_fig15", fused),
+    ]
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let workload = rfp_trace::by_name("spec17_mcf").expect("in suite");
+    let mut g = c.benchmark_group("simulate_8k_uops");
+    g.sample_size(10);
+    for (name, cfg) in configs() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(simulate_workload(cfg, &workload, LEN).expect("valid")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sensitivity_kernels(c: &mut Criterion) {
+    // The Fig. 17/18 sweeps re-run the same kernel with different PT
+    // shapes; benchmark the two extremes.
+    let workload = rfp_trace::by_name("spec06_gcc").expect("in suite");
+    let mut g = c.benchmark_group("pt_sweep_fig17_fig18");
+    g.sample_size(10);
+    for (name, entries, bits) in [("pt1k_conf1", 1024usize, 1u8), ("pt16k_conf4", 16384, 4)] {
+        let mut cfg = CoreConfig::tiger_lake().with_rfp();
+        if let Some(r) = cfg.rfp.as_mut() {
+            r.table.entries = entries;
+            r.table.confidence_bits = bits;
+        }
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(simulate_workload(&cfg, &workload, LEN).expect("valid")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_sensitivity_kernels);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p rfp-bench --bin experiments -- <id>... | all
+//! ```
+//!
+//! Ids: fig1 fig2 tab1 tab2 fig10 fig11 fig12 fig13 fig14 s522 fig15 fig16
+//! fig17 fig18 s552 s553 s554 s555, or `all`. Set `RFP_TRACE_LEN` to change
+//! the measured micro-ops per workload (default 120000).
+
+use rfp_bench::{Harness, DEFAULT_TRACE_LEN};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: experiments <id>... | all\n  ids: {}\n  env: RFP_TRACE_LEN=<uops> (default {DEFAULT_TRACE_LEN})",
+            Harness::ALL_IDS.join(" ")
+        );
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let len = std::env::var("RFP_TRACE_LEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TRACE_LEN);
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        Harness::ALL_IDS.to_vec()
+    } else {
+        let mut ids = Vec::new();
+        for a in &args {
+            if Harness::ALL_IDS.contains(&a.as_str()) {
+                ids.push(a.as_str());
+            } else {
+                eprintln!("unknown experiment id: {a} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        ids
+    };
+
+    let mut h = Harness::new(len);
+    let t0 = std::time::Instant::now();
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            println!("{}", "=".repeat(78));
+        }
+        println!("[{id}]");
+        println!("{}", h.run(id));
+    }
+    eprintln!(
+        "ran {} experiment(s) at {} uops/workload in {:.1}s",
+        ids.len(),
+        len,
+        t0.elapsed().as_secs_f32()
+    );
+}

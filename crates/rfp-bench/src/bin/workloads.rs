@@ -1,0 +1,87 @@
+//! Prints the composition of the 65-workload synthetic suite: static
+//! program sizes, memory-pattern mixes and working-set classes — the
+//! knobs that calibrate the reproduction (see DESIGN.md §8).
+//!
+//! ```text
+//! cargo run --release -p rfp-bench --bin workloads [name]
+//! ```
+
+use rfp_stats::TextTable;
+use rfp_trace::{AddrPattern, StaticKind, WorkingSetClass, Workload};
+
+fn pattern_label(p: &AddrPattern) -> &'static str {
+    match p {
+        AddrPattern::Stride { .. } => "stride",
+        AddrPattern::PhasedStride { .. } => "phased",
+        AddrPattern::Pattern2D { .. } => "2d",
+        AddrPattern::Constant => "const",
+        AddrPattern::Chase => "chase",
+        AddrPattern::Gather => "gather",
+    }
+}
+
+fn ws_label(ws: WorkingSetClass) -> &'static str {
+    match ws {
+        WorkingSetClass::L1 => "L1",
+        WorkingSetClass::L2 => "L2",
+        WorkingSetClass::Llc => "LLC",
+        WorkingSetClass::Dram => "DRAM",
+    }
+}
+
+fn describe(w: &Workload) {
+    let prog = w.program();
+    println!(
+        "{} ({}) — {} static uops, {} loads, {} stores, {} patterns",
+        w.name,
+        w.category.label(),
+        prog.insts.len(),
+        prog.static_loads(),
+        prog.static_stores(),
+        prog.patterns.len()
+    );
+    let mut by: std::collections::BTreeMap<(&str, &str), usize> = Default::default();
+    for p in &prog.patterns {
+        *by.entry((ws_label(p.ws), pattern_label(&p.addr))).or_default() += 1;
+    }
+    for ((ws, pat), n) in by {
+        println!("  {n:>3} x {ws:>4} {pat}");
+    }
+}
+
+fn main() {
+    if let Some(name) = std::env::args().nth(1) {
+        match rfp_trace::by_name(&name) {
+            Some(w) => describe(&w),
+            None => {
+                eprintln!("unknown workload '{name}'");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    let mut t = TextTable::new(&[
+        "workload", "category", "static uops", "loads", "stores", "patterns", "mispredict rate",
+    ]);
+    for w in rfp_trace::suite() {
+        let prog = w.program();
+        // Count memory instructions, not just patterns, so aliased loads
+        // (which share a store's pattern) are visible.
+        let loads = prog
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, StaticKind::Load { .. }))
+            .count();
+        t.row(&[
+            w.name,
+            w.category.label(),
+            &prog.insts.len().to_string(),
+            &loads.to_string(),
+            &prog.static_stores().to_string(),
+            &prog.patterns.len().to_string(),
+            &format!("{:.3}", w.params.mispredict_rate),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(pass a workload name for its per-pattern breakdown)");
+}

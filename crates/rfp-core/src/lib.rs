@@ -1,0 +1,84 @@
+//! Cycle-level out-of-order core model with **Register File Prefetching**
+//! (Shukla et al., ISCA 2022).
+//!
+//! This crate is the paper's primary contribution plus the OOO substrate it
+//! needs: a 5-wide Tiger-Lake-like core with a 3-cycle scheduling pipeline,
+//! speculative wakeup with scoreboard cancel/re-issue, a load/store queue
+//! with store-to-load forwarding and store-set memory disambiguation, value
+//! prediction (EVES / DLVP / Composite / EPP models) and the RFP engine
+//! itself — prefetch packets injected after rename, arbitrating for spare
+//! L1 ports at the lowest priority, writing straight into the load's
+//! physical destination register.
+//!
+//! # Examples
+//!
+//! ```
+//! use rfp_core::{simulate_workload, CoreConfig};
+//!
+//! let w = rfp_trace::by_name("spec06_libquantum").expect("in the suite");
+//! let base = simulate_workload(&CoreConfig::tiger_lake(), &w, 20_000)?;
+//! let rfp = simulate_workload(&CoreConfig::tiger_lake().with_rfp(), &w, 20_000)?;
+//! assert!(rfp.ipc() > 0.0 && base.ipc() > 0.0);
+//! # Ok::<(), rfp_types::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod core;
+mod inst;
+
+pub use crate::core::Core;
+pub use config::{BranchMode, CoreConfig, RfpConfig, VpMode};
+pub use inst::{DlvpInfo, DynInst, Phase, RfpState, VpSource};
+pub use rfp_mem::OracleMode;
+
+use rfp_stats::{CoreStats, SimReport};
+use rfp_trace::{MicroOp, Workload};
+use rfp_types::ConfigError;
+
+/// Runs `trace` through a core built from `config` and returns the raw
+/// counters.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when `config` is invalid.
+pub fn simulate(
+    config: &CoreConfig,
+    trace: impl IntoIterator<Item = MicroOp>,
+) -> Result<CoreStats, ConfigError> {
+    Ok(Core::new(config.clone())?.run(trace))
+}
+
+/// Simulates `workload` with warmed caches and predictors: runs `len / 2`
+/// micro-ops of warmup (statistics discarded) followed by `len` measured
+/// micro-ops.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when `config` is invalid.
+pub fn simulate_workload(
+    config: &CoreConfig,
+    workload: &Workload,
+    len: u64,
+) -> Result<SimReport, ConfigError> {
+    let warmup = len / 2;
+    let mut core = Core::new(config.clone())?;
+    core.prewarm_from(workload.program().patterns.iter().filter_map(|p| {
+        use rfp_trace::WorkingSetClass as W;
+        let level = match p.ws {
+            W::L1 => rfp_mem::HitLevel::L1,
+            W::L2 => rfp_mem::HitLevel::L2,
+            W::Llc => rfp_mem::HitLevel::Llc,
+            W::Dram => return None,
+        };
+        Some((p.base, p.region_bytes, level))
+    }));
+    let stats = core.run_with_warmup(workload.trace(len + warmup), warmup);
+    Ok(SimReport::new(
+        workload.name,
+        workload.category.label(),
+        stats,
+    ))
+}

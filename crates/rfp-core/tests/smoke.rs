@@ -1,0 +1,41 @@
+//! End-to-end smoke tests for the core simulator.
+
+use rfp_core::{simulate_workload, CoreConfig, OracleMode};
+
+#[test]
+fn baseline_runs_and_produces_sane_ipc() {
+    let w = rfp_trace::by_name("spec06_libquantum").unwrap();
+    let r = simulate_workload(&CoreConfig::tiger_lake(), &w, 30_000).unwrap();
+    assert_eq!(r.stats.retired_uops, 30_000);
+    assert!(r.ipc() > 0.3 && r.ipc() < 5.0, "ipc = {}", r.ipc());
+    assert!(r.l1_hit_frac() > 0.5, "l1 = {}", r.l1_hit_frac());
+}
+
+#[test]
+fn rfp_gives_nonzero_coverage_on_streaming_workload() {
+    let w = rfp_trace::by_name("spec06_libquantum").unwrap();
+    let base = simulate_workload(&CoreConfig::tiger_lake(), &w, 60_000).unwrap();
+    let rfp = simulate_workload(&CoreConfig::tiger_lake().with_rfp(), &w, 60_000).unwrap();
+    eprintln!(
+        "base ipc={:.3} rfp ipc={:.3} coverage={:.3} injected={:.3} executed={:.3} wrong={:.3}",
+        base.ipc(),
+        rfp.ipc(),
+        rfp.coverage(),
+        rfp.injected_frac(),
+        rfp.executed_frac(),
+        rfp.wrong_frac()
+    );
+    assert!(rfp.coverage() > 0.1, "coverage = {}", rfp.coverage());
+    assert!(rfp.ipc() >= base.ipc() * 0.98, "RFP must not tank IPC");
+}
+
+#[test]
+fn oracle_l1_beats_baseline() {
+    let w = rfp_trace::by_name("spec17_xalancbmk").unwrap();
+    let base = simulate_workload(&CoreConfig::tiger_lake(), &w, 30_000).unwrap();
+    let oracle =
+        simulate_workload(&CoreConfig::tiger_lake().with_oracle(OracleMode::L1ToRf), &w, 30_000)
+            .unwrap();
+    eprintln!("base={:.3} oracle={:.3}", base.ipc(), oracle.ipc());
+    assert!(oracle.ipc() > base.ipc());
+}

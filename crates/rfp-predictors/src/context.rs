@@ -1,0 +1,269 @@
+//! The context (delta-correlation) prefetcher — paper §5.5.3.
+//!
+//! The paper augments the stride Prefetch Table with a context-based
+//! predictor in the spirit of DLVP's path-based address predictor, and finds
+//! it adds only ~0.3% over stride alone. Our variant correlates on the
+//! *previous address delta*: per static load it remembers which delta tends
+//! to follow which, catching periodic patterns a single-stride table cannot
+//! (e.g. row-major 2D walks whose row-boundary jump breaks a stride table
+//! once per row).
+
+use rfp_types::{Addr, Pc};
+
+/// Correlated (previous delta -> next delta) pairs kept per load PC.
+const PAIRS_PER_ENTRY: usize = 4;
+/// Tracked static loads.
+const TABLE_ENTRIES: usize = 1024;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DeltaPair {
+    prev: i64,
+    next: i64,
+    confidence: u8,
+    valid: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ContextEntry {
+    tag: u64,
+    valid: bool,
+    last_addr: Addr,
+    last_delta: i64,
+    inflight: u8,
+    pairs: [DeltaPair; PAIRS_PER_ENTRY],
+}
+
+/// A per-PC delta-correlation table.
+///
+/// # Examples
+///
+/// ```
+/// use rfp_predictors::ContextPrefetcher;
+/// use rfp_types::{Addr, Pc};
+///
+/// let mut cp = ContextPrefetcher::new();
+/// let pc = Pc::new(0x400000);
+/// // Alternating +8 / +24 pattern: a stride table keeps resetting, the
+/// // delta correlator learns it exactly.
+/// let mut a = 0x1000u64;
+/// for i in 0..32 {
+///     cp.train(pc, Addr::new(a));
+///     a += if i % 2 == 0 { 8 } else { 24 };
+/// }
+/// assert!(cp.predict(pc).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContextPrefetcher {
+    entries: Vec<ContextEntry>,
+    predictions: u64,
+}
+
+impl Default for ContextPrefetcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContextPrefetcher {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ContextPrefetcher {
+            entries: vec![ContextEntry::default(); TABLE_ENTRIES],
+            predictions: 0,
+        }
+    }
+
+    fn index(pc: Pc) -> (usize, u64) {
+        let idx = (pc.raw() >> 2) % TABLE_ENTRIES as u64;
+        let tag = (pc.raw() >> 2) / TABLE_ENTRIES as u64;
+        (idx as usize, tag)
+    }
+
+    /// Trains on a retired load's address and releases one in-flight
+    /// instance.
+    pub fn train(&mut self, pc: Pc, addr: Addr) {
+        let (idx, tag) = Self::index(pc);
+        let e = &mut self.entries[idx];
+        if !e.valid || e.tag != tag {
+            *e = ContextEntry {
+                tag,
+                valid: true,
+                last_addr: addr,
+                last_delta: 0,
+                inflight: 0,
+                pairs: Default::default(),
+            };
+            return;
+        }
+        e.inflight = e.inflight.saturating_sub(1);
+        let delta = addr.stride_from(e.last_addr);
+        // Learn: after `last_delta`, the stream moved by `delta`.
+        let prev = e.last_delta;
+        if let Some(p) = e
+            .pairs
+            .iter_mut()
+            .find(|p| p.valid && p.prev == prev)
+        {
+            if p.next == delta {
+                p.confidence = (p.confidence + 1).min(3);
+            } else if p.confidence > 0 {
+                p.confidence -= 1;
+            } else {
+                p.next = delta;
+            }
+        } else {
+            // Replace the lowest-confidence pair.
+            let victim = e
+                .pairs
+                .iter_mut()
+                .min_by_key(|p| if p.valid { p.confidence + 1 } else { 0 })
+                .expect("pairs non-empty");
+            *victim = DeltaPair {
+                prev,
+                next: delta,
+                confidence: 1,
+                valid: true,
+            };
+        }
+        e.last_addr = addr;
+        e.last_delta = delta;
+    }
+
+    /// Predicts the next address for `pc` from the correlated delta, if a
+    /// confident correlation exists (single-step; assumes no other
+    /// instances in flight).
+    pub fn predict(&mut self, pc: Pc) -> Option<Addr> {
+        let (idx, tag) = Self::index(pc);
+        let e = &self.entries[idx];
+        if !e.valid || e.tag != tag {
+            return None;
+        }
+        let p = e
+            .pairs
+            .iter()
+            .find(|p| p.valid && p.prev == e.last_delta && p.confidence >= 2)?;
+        self.predictions += 1;
+        Some(e.last_addr.offset(p.next))
+    }
+
+    /// Called at load allocation: bumps the in-flight instance count and
+    /// predicts this instance's address by walking the delta-correlation
+    /// chain once per outstanding instance (the context analogue of the
+    /// stride table's `last + stride * inflight` extrapolation). Returns
+    /// `None` if any step of the walk is below confidence.
+    pub fn on_allocate(&mut self, pc: Pc) -> Option<Addr> {
+        const MAX_WALK: u8 = 16;
+        let (idx, tag) = Self::index(pc);
+        let e = &mut self.entries[idx];
+        if !e.valid || e.tag != tag {
+            return None;
+        }
+        e.inflight = e.inflight.saturating_add(1);
+        let steps = e.inflight;
+        if steps > MAX_WALK {
+            return None;
+        }
+        let mut addr = e.last_addr;
+        let mut delta = e.last_delta;
+        for _ in 0..steps {
+            let p = e
+                .pairs
+                .iter()
+                .find(|p| p.valid && p.prev == delta && p.confidence >= 2)?;
+            addr = addr.offset(p.next);
+            delta = p.next;
+        }
+        self.predictions += 1;
+        Some(addr)
+    }
+
+    /// Called for each squashed in-flight load.
+    pub fn on_squash(&mut self, pc: Pc) {
+        let (idx, tag) = Self::index(pc);
+        let e = &mut self.entries[idx];
+        if e.valid && e.tag == tag {
+            e.inflight = e.inflight.saturating_sub(1);
+        }
+    }
+
+    /// Predictions issued since construction.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Storage bits: per entry tag(16) + last addr(64) + last delta(16) +
+    /// inflight(7) + 4 pairs x (16 + 16 + 2).
+    pub fn storage_bits() -> u64 {
+        TABLE_ENTRIES as u64 * (16 + 64 + 16 + 7 + PAIRS_PER_ENTRY as u64 * 34)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train_seq(cp: &mut ContextPrefetcher, pc: Pc, deltas: &[i64], reps: usize) -> Addr {
+        let mut a = Addr::new(0x8000);
+        for _ in 0..reps {
+            for &d in deltas {
+                cp.train(pc, a);
+                a = a.offset(d);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn learns_alternating_deltas() {
+        let mut cp = ContextPrefetcher::new();
+        let pc = Pc::new(0x400010);
+        let next = train_seq(&mut cp, pc, &[8, 24], 16);
+        let predicted = cp.predict(pc).expect("should be confident");
+        // The last trained delta was 24 (end of pattern), so next is +8...
+        // either way the prediction must be one of the two continuations.
+        assert!(predicted == next || predicted == next.offset(16));
+    }
+
+    #[test]
+    fn pure_stride_is_also_learned() {
+        let mut cp = ContextPrefetcher::new();
+        let pc = Pc::new(0x400020);
+        let next = train_seq(&mut cp, pc, &[64], 8);
+        assert_eq!(cp.predict(pc), Some(next));
+    }
+
+    #[test]
+    fn random_walk_is_not_predicted() {
+        let mut cp = ContextPrefetcher::new();
+        let pc = Pc::new(0x400030);
+        let mut a = 0x1000u64;
+        for i in 0..64u64 {
+            cp.train(pc, Addr::new(a));
+            a = a.wrapping_add(rfp_trace_free_hash(i) % 4096);
+        }
+        assert_eq!(cp.predict(pc), None);
+    }
+
+    // Tiny local hash so the test has no extra deps.
+    fn rfp_trace_free_hash(mut x: u64) -> u64 {
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^ (x >> 33)
+    }
+
+    #[test]
+    fn conflicting_pc_evicts_entry() {
+        let mut cp = ContextPrefetcher::new();
+        let pc1 = Pc::new(0x400040);
+        let pc2 = Pc::new(pc1.raw() + (TABLE_ENTRIES as u64) * 4); // same set
+        train_seq(&mut cp, pc1, &[8], 8);
+        assert!(cp.predict(pc1).is_some());
+        cp.train(pc2, Addr::new(0x9000));
+        assert_eq!(cp.predict(pc1), None, "tag mismatch must miss");
+    }
+
+    #[test]
+    fn storage_is_reported() {
+        assert!(ContextPrefetcher::storage_bits() > 0);
+    }
+}

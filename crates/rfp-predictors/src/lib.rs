@@ -1,0 +1,63 @@
+//! Predictor structures for the RFP simulator.
+//!
+//! Everything the paper's mechanisms (and its baselines) predict with lives
+//! here:
+//!
+//! * [`PrefetchTable`] + [`PageAddrTable`] — the RFP stride prefetcher and
+//!   its area-saving page-address compression (§3.1, §3.5, Table 1);
+//! * [`ContextPrefetcher`] — the delta-correlating context prefetcher
+//!   evaluated in §5.5.3;
+//! * [`HitMissPredictor`] — Yoaz-style L1 hit/miss prediction driving
+//!   speculative wakeup (§2.5);
+//! * [`StoreSets`] — memory-dependence prediction consulted by loads *and*
+//!   RFP requests (§3.2.1);
+//! * [`ValuePredictor`] — the EVES-style value predictor used for the VP
+//!   comparison and the VP+RFP fusion (§5.3);
+//! * [`Dlvp`] — the path-based load address predictor with the no-FWD
+//!   filter, the AP comparison point (§5.4, Fig. 16).
+//!
+//! # Examples
+//!
+//! ```
+//! use rfp_predictors::{PrefetchTable, PrefetchTableConfig, PtDecision};
+//! use rfp_types::{Addr, Pc};
+//!
+//! let mut pt = PrefetchTable::new(PrefetchTableConfig {
+//!     confidence_increment_prob: 1.0,
+//!     ..PrefetchTableConfig::default()
+//! })?;
+//! let pc = Pc::new(0x400000);
+//! for i in 0..4u64 {
+//!     pt.on_allocate(pc);
+//!     pt.on_retire(pc, Addr::new(0x1000 + i * 64));
+//! }
+//! assert!(matches!(pt.on_allocate(pc), PtDecision::Prefetch(_)));
+//! # Ok::<(), rfp_types::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod context;
+mod criticality;
+mod dlvp;
+mod eves;
+mod hit_miss;
+mod ip_prefetch;
+mod pat;
+mod prefetch_table;
+mod storage;
+mod store_sets;
+
+pub use branch::Gshare;
+pub use criticality::CriticalityTable;
+pub use context::ContextPrefetcher;
+pub use dlvp::{Dlvp, DlvpConfig, PathHistory};
+pub use eves::{ValuePredictor, ValuePredictorConfig};
+pub use hit_miss::HitMissPredictor;
+pub use ip_prefetch::IpStridePrefetcher;
+pub use pat::{PageAddrTable, PatPointer, PAT_ENTRIES, PAT_ENTRY_BITS, PAT_POINTER_BITS, PAT_WAYS};
+pub use prefetch_table::{PrefetchTable, PrefetchTableConfig, PtDecision, PtStorage};
+pub use storage::{storage_table, StorageRow};
+pub use store_sets::{StoreSetId, StoreSets};

@@ -1,0 +1,108 @@
+//! Storage accounting for Table 1 of the paper.
+//!
+//! Reproduces the paper's storage bill for the RFP hardware: the Prefetch
+//! Table (1K–2K entries, 6.5–12 KB), the 64-entry Page Address Table and
+//! the per-RS-entry RFP-inflight bit.
+
+use crate::pat::PageAddrTable;
+use crate::prefetch_table::{PrefetchTable, PrefetchTableConfig};
+
+/// One row of the storage table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageRow {
+    /// Structure name.
+    pub structure: String,
+    /// Field breakdown, human readable.
+    pub fields: String,
+    /// Total storage in bits.
+    pub bits: u64,
+}
+
+impl StorageRow {
+    /// Storage rendered the way the paper prints it (KB above 1 KiB,
+    /// bits below).
+    pub fn pretty_size(&self) -> String {
+        if self.bits >= 8 * 1024 {
+            format!("{:.1}KB", self.bits as f64 / 8.0 / 1024.0)
+        } else {
+            format!("{}b", self.bits)
+        }
+    }
+}
+
+/// Builds the Table 1 rows for a PT size range and RS entry count.
+///
+/// # Examples
+///
+/// ```
+/// let rows = rfp_predictors::storage_table(1024, 2048, 128);
+/// assert_eq!(rows.len(), 3);
+/// assert!(rows[0].structure.contains("Prefetch Table"));
+/// ```
+pub fn storage_table(pt_min_entries: usize, pt_max_entries: usize, rs_entries: u64) -> Vec<StorageRow> {
+    let mk = |entries: usize| {
+        PrefetchTable::new(PrefetchTableConfig {
+            entries,
+            // Table 1 prints the 3-bit-confidence variant.
+            confidence_bits: 3,
+            ..PrefetchTableConfig::default()
+        })
+        .expect("table-1 config is valid")
+        .storage()
+    };
+    let lo = mk(pt_min_entries);
+    let hi = mk(pt_max_entries);
+    vec![
+        StorageRow {
+            structure: format!(
+                "Prefetch Table ({pt_min_entries}-{pt_max_entries} entries)"
+            ),
+            fields: format!(
+                "Tag ({}b), Confidence ({}b), Utility ({}b), Stride ({}b), Inflight ({}b), PAT Pointer + Page Offset ({}b)",
+                lo.tag_bits,
+                lo.confidence_bits,
+                lo.utility_bits,
+                lo.stride_bits,
+                lo.inflight_bits,
+                lo.address_bits
+            ),
+            bits: hi.total_bits().max(lo.total_bits()),
+        },
+        StorageRow {
+            structure: "Page Address Table (64 entries)".to_string(),
+            fields: "Page Address 44b".to_string(),
+            bits: PageAddrTable::storage_bits(),
+        },
+        StorageRow {
+            structure: format!("RFP-Inflight ({rs_entries} entries)"),
+            fields: "1b".to_string(),
+            bits: rs_entries,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_expected_rows_and_sizes() {
+        let rows = storage_table(1024, 2048, 128);
+        assert_eq!(rows.len(), 3);
+        // PT: 2048 entries x 51 bits ~ 12.8 KB (paper: "6.5KB - 12KB").
+        assert!(rows[0].bits >= 2048 * 49);
+        assert_eq!(rows[1].bits, 2816);
+        assert_eq!(rows[2].bits, 128);
+        assert_eq!(rows[2].pretty_size(), "128b");
+    }
+
+    #[test]
+    fn pretty_size_switches_units() {
+        let r = StorageRow {
+            structure: "x".into(),
+            fields: "y".into(),
+            bits: 16 * 1024,
+        };
+        assert_eq!(r.pretty_size(), "2.0KB");
+    }
+}

@@ -1,0 +1,506 @@
+//! Statistics collection and plain-text report formatting for the RFP
+//! simulator.
+//!
+//! [`CoreStats`] is the flat counter block the core fills in while it runs;
+//! [`SimReport`] couples it with a workload identity and derives the
+//! quantities the paper reports (IPC, prefetch coverage taxonomy, hit
+//! distribution). [`TextTable`] renders the figures/tables as aligned text.
+//!
+//! # Examples
+//!
+//! ```
+//! use rfp_stats::{CoreStats, SimReport};
+//!
+//! let mut s = CoreStats::default();
+//! s.cycles = 1000;
+//! s.retired_uops = 2500;
+//! s.retired_loads = 600;
+//! s.rfp_useful = 240;
+//! let r = SimReport::new("demo", "Client", s);
+//! assert!((r.ipc() - 2.5).abs() < 1e-9);
+//! assert!((r.coverage() - 0.4).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+pub use rfp_types::geomean;
+
+/// Flat counter block filled by the core during simulation.
+///
+/// All counters are dynamic-instance counts unless stated otherwise.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Retired micro-ops.
+    pub retired_uops: u64,
+    /// Retired loads.
+    pub retired_loads: u64,
+    /// Retired stores.
+    pub retired_stores: u64,
+    /// Retired branches.
+    pub retired_branches: u64,
+    /// Retired mispredicted branches.
+    pub branch_mispredicts: u64,
+
+    /// Demand-load hits per level: [L1, MSHR, L2, LLC, DRAM].
+    pub load_hit_levels: [u64; 5],
+    /// Loads served by store-to-load forwarding.
+    pub load_forwarded: u64,
+    /// Loads whose source operands were all ready at allocation
+    /// (paper §3: 37%).
+    pub loads_ready_at_alloc: u64,
+
+    /// RFP: prefetch packets injected (entered the RFP queue).
+    pub rfp_injected: u64,
+    /// RFP: prefetches that reached the L1 pipeline (executed).
+    pub rfp_executed: u64,
+    /// RFP: prefetches whose data the load actually consumed (useful —
+    /// this over loads is the paper's *coverage*).
+    pub rfp_useful: u64,
+    /// RFP: executed prefetches whose predicted address was wrong.
+    pub rfp_wrong_addr: u64,
+    /// RFP: packets dropped because the load issued first.
+    pub rfp_dropped_load_first: u64,
+    /// RFP: packets dropped on a DTLB miss.
+    pub rfp_dropped_tlb: u64,
+    /// RFP: packets dropped because the queue was full.
+    pub rfp_dropped_queue_full: u64,
+    /// RFP: packets dropped on an L1 miss (only when configured to drop).
+    pub rfp_dropped_l1_miss: u64,
+    /// RFP: useful prefetches that completed before the load dispatched
+    /// (latency fully hidden, §5.2.2).
+    pub rfp_fully_hidden: u64,
+
+    /// Value prediction: loads whose value was predicted (dependence
+    /// broken).
+    pub vp_predicted: u64,
+    /// Value prediction: mispredictions (each costs a flush).
+    pub vp_mispredicted: u64,
+
+    /// DLVP waterfall (Fig. 16): loads with any path-table knowledge.
+    pub ap_known: u64,
+    /// ... of those, loads passing the high-confidence bar (APHC).
+    pub ap_high_confidence: u64,
+    /// ... passing the no-FWD filter too.
+    pub ap_no_fwd: u64,
+    /// ... that found a free L1 port for the early probe.
+    pub ap_probe_launched: u64,
+    /// ... whose probe data returned before allocation (ProbeSuccess).
+    pub ap_probe_success: u64,
+    /// DLVP address mispredictions that fired (flush).
+    pub ap_mispredicted: u64,
+
+    /// Scheduler: speculatively issued uops cancelled at the scoreboard
+    /// and re-issued.
+    pub sched_reissues: u64,
+    /// Memory-ordering violations (store-set training events).
+    pub md_violations: u64,
+    /// Pipeline flushes from value/address misprediction.
+    pub vp_flushes: u64,
+    /// EPP-style SSBF false-positive re-executions at retirement.
+    pub epp_reexecutions: u64,
+
+    /// Raw memory-side access counts per level (includes warmup, stores,
+    /// RFP requests and prefetch traffic) — diagnostic only.
+    pub mem_hit_counts: [u64; 5],
+    /// Page walks performed by the data TLB (diagnostic).
+    pub tlb_walks: u64,
+    /// Cycles with zero retirement, classified by the kind of the ROB head
+    /// blocking it: [load, store, branch, alu, fp, rob-empty] (diagnostic).
+    pub stall_head_kind: [u64; 6],
+}
+
+impl CoreStats {
+    /// Total demand loads that accessed the hierarchy (excludes pure
+    /// forwarding).
+    pub fn demand_loads(&self) -> u64 {
+        self.load_hit_levels.iter().sum()
+    }
+}
+
+/// A finished simulation of one workload under one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Workload name.
+    pub workload: String,
+    /// Workload category label.
+    pub category: String,
+    /// Raw counters.
+    pub stats: CoreStats,
+}
+
+impl SimReport {
+    /// Creates a report.
+    pub fn new(workload: impl Into<String>, category: impl Into<String>, stats: CoreStats) -> Self {
+        SimReport {
+            workload: workload.into(),
+            category: category.into(),
+            stats,
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.stats.cycles == 0 {
+            return 0.0;
+        }
+        self.stats.retired_uops as f64 / self.stats.cycles as f64
+    }
+
+    /// RFP coverage: useful prefetches over all retired loads (the paper's
+    /// definition in §5.1).
+    pub fn coverage(&self) -> f64 {
+        ratio(self.stats.rfp_useful, self.stats.retired_loads)
+    }
+
+    /// Fraction of loads with an injected prefetch packet (Fig. 13).
+    pub fn injected_frac(&self) -> f64 {
+        ratio(self.stats.rfp_injected, self.stats.retired_loads)
+    }
+
+    /// Fraction of loads whose prefetch executed (Fig. 13).
+    pub fn executed_frac(&self) -> f64 {
+        ratio(self.stats.rfp_executed, self.stats.retired_loads)
+    }
+
+    /// Fraction of loads with a wrong-address prefetch (§5.2: ~5%).
+    pub fn wrong_frac(&self) -> f64 {
+        ratio(self.stats.rfp_wrong_addr, self.stats.retired_loads)
+    }
+
+    /// Fraction of loads whose latency RFP fully hid (§5.2.2: 34.2%).
+    pub fn fully_hidden_frac(&self) -> f64 {
+        ratio(self.stats.rfp_fully_hidden, self.stats.retired_loads)
+    }
+
+    /// Value-prediction coverage over loads.
+    pub fn vp_coverage(&self) -> f64 {
+        ratio(self.stats.vp_predicted, self.stats.retired_loads)
+    }
+
+    /// L1 hit fraction among demand loads (Fig. 2: ~92.8%).
+    pub fn l1_hit_frac(&self) -> f64 {
+        ratio(self.stats.load_hit_levels[0], self.stats.demand_loads())
+    }
+
+    /// Demand-load distribution over [L1, MSHR, L2, LLC, DRAM].
+    pub fn hit_distribution(&self) -> [f64; 5] {
+        let total = self.stats.demand_loads();
+        let mut out = [0.0; 5];
+        for (o, &c) in out.iter_mut().zip(&self.stats.load_hit_levels) {
+            *o = ratio(c, total);
+        }
+        out
+    }
+
+    /// Fraction of loads ready at allocation (paper: 37%).
+    pub fn ready_at_alloc_frac(&self) -> f64 {
+        ratio(self.stats.loads_ready_at_alloc, self.stats.retired_loads)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Geometric-mean speedup of `new` over `base`, matched by workload name.
+///
+/// Returns `None` when the run sets don't overlap or IPCs are degenerate.
+///
+/// # Examples
+///
+/// ```
+/// use rfp_stats::{CoreStats, SimReport, geomean_speedup};
+/// let mk = |cycles| {
+///     let mut s = CoreStats::default();
+///     s.cycles = cycles;
+///     s.retired_uops = 1000;
+///     SimReport::new("w", "Client", s)
+/// };
+/// let s = geomean_speedup(&[mk(1000)], &[mk(800)]).unwrap();
+/// assert!((s - 1.25).abs() < 1e-9);
+/// ```
+pub fn geomean_speedup(base: &[SimReport], new: &[SimReport]) -> Option<f64> {
+    let mut ratios = Vec::new();
+    for b in base {
+        if let Some(n) = new.iter().find(|n| n.workload == b.workload) {
+            let (bi, ni) = (b.ipc(), n.ipc());
+            if bi > 0.0 && ni > 0.0 {
+                ratios.push(ni / bi);
+            }
+        }
+    }
+    geomean(&ratios)
+}
+
+/// Mean of a derived per-report fraction, weighted equally per workload
+/// (the way the paper averages coverage).
+pub fn mean_frac(reports: &[SimReport], f: impl Fn(&SimReport) -> f64) -> f64 {
+    if reports.is_empty() {
+        return 0.0;
+    }
+    reports.iter().map(f).sum::<f64>() / reports.len() as f64
+}
+
+/// Groups reports by their category label, preserving first-seen order.
+///
+/// # Examples
+///
+/// ```
+/// use rfp_stats::{by_category, CoreStats, SimReport};
+/// let reports = vec![
+///     SimReport::new("a", "Cloud", CoreStats::default()),
+///     SimReport::new("b", "Client", CoreStats::default()),
+///     SimReport::new("c", "Cloud", CoreStats::default()),
+/// ];
+/// let groups = by_category(&reports);
+/// assert_eq!(groups[0].0, "Cloud");
+/// assert_eq!(groups[0].1.len(), 2);
+/// ```
+pub fn by_category(reports: &[SimReport]) -> Vec<(String, Vec<&SimReport>)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: std::collections::HashMap<String, Vec<&SimReport>> = Default::default();
+    for r in reports {
+        if !groups.contains_key(&r.category) {
+            order.push(r.category.clone());
+        }
+        groups.entry(r.category.clone()).or_default().push(r);
+    }
+    order
+        .into_iter()
+        .map(|c| {
+            let v = groups.remove(&c).expect("inserted above");
+            (c, v)
+        })
+        .collect()
+}
+
+/// Returns the p-th percentile (0..=100, nearest-rank) of `values`.
+///
+/// Returns `None` for an empty slice or a percentile outside 0..=100.
+///
+/// # Examples
+///
+/// ```
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(rfp_stats::percentile(&v, 50), Some(2.0));
+/// assert_eq!(rfp_stats::percentile(&v, 100), Some(4.0));
+/// assert_eq!(rfp_stats::percentile(&[], 50), None);
+/// ```
+pub fn percentile(values: &[f64], p: u8) -> Option<f64> {
+    if values.is_empty() || p > 100 {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p as f64 / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+/// A minimal fixed-width text table renderer for experiment output.
+///
+/// # Examples
+///
+/// ```
+/// use rfp_stats::TextTable;
+/// let mut t = TextTable::new(&["workload", "ipc"]);
+/// t.row(&["spec17_mcf", "1.43"]);
+/// let s = t.render();
+/// assert!(s.contains("spec17_mcf"));
+/// assert!(s.contains("ipc"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows are
+    /// truncated to the header width.
+    pub fn row(&mut self, cells: &[&str]) {
+        let mut r: Vec<String> = cells
+            .iter()
+            .take(self.headers.len())
+            .map(|s| s.to_string())
+            .collect();
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting for cells
+    /// containing commas or quotes), for piping into plotting tools.
+    pub fn to_csv(&self) -> String {
+        fn quote(c: &str) -> String {
+            if c.contains([',', '"', '\n']) {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            let row: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            out.push_str(&row.join(","));
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        for r in &self.rows {
+            line(r, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for i in 0..cols {
+                let _ = write!(out, "{:<width$}", cells[i], width = widths[i] + 2);
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let rule: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for r in &self.rows {
+            write_row(&mut out, r);
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal (paper style).
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, uops: u64, loads: u64, useful: u64) -> SimReport {
+        let mut s = CoreStats::default();
+        s.cycles = cycles;
+        s.retired_uops = uops;
+        s.retired_loads = loads;
+        s.rfp_useful = useful;
+        SimReport::new("w", "Client", s)
+    }
+
+    #[test]
+    fn ipc_and_coverage_derive_correctly() {
+        let r = report(100, 450, 100, 43);
+        assert!((r.ipc() - 4.5).abs() < 1e-12);
+        assert!((r.coverage() - 0.43).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let r = report(0, 0, 0, 0);
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.coverage(), 0.0);
+        assert_eq!(r.l1_hit_frac(), 0.0);
+    }
+
+    #[test]
+    fn hit_distribution_sums_to_one_when_populated() {
+        let mut s = CoreStats::default();
+        s.load_hit_levels = [90, 4, 3, 2, 1];
+        let r = SimReport::new("w", "c", s);
+        let sum: f64 = r.hit_distribution().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((r.l1_hit_frac() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_speedup_matches_by_name() {
+        let base = vec![report(1000, 1000, 0, 0)];
+        let mut other = report(800, 1000, 0, 0);
+        other.workload = "different".into();
+        assert!(geomean_speedup(&base, &[other]).is_none());
+    }
+
+    #[test]
+    fn mean_frac_averages_equally() {
+        let a = report(100, 100, 100, 50);
+        let b = report(100, 100, 100, 0);
+        let m = mean_frac(&[a, b], |r| r.coverage());
+        assert!((m - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["a", "bbbb"]);
+        t.row(&["xxxxx", "y"]);
+        t.row(&["z"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("xxxxx"));
+    }
+
+    #[test]
+    fn by_category_groups_and_orders() {
+        let reports = vec![
+            report(1, 1, 0, 0),
+            SimReport::new("x", "Other", CoreStats::default()),
+            report(1, 1, 0, 0),
+        ];
+        let groups = by_category(&reports);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "Client");
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].0, "Other");
+    }
+
+    #[test]
+    fn percentile_nearest_rank_semantics() {
+        let v = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&v, 0), Some(1.0));
+        assert_eq!(percentile(&v, 34), Some(3.0));
+        assert_eq!(percentile(&v, 100), Some(5.0));
+        assert_eq!(percentile(&v, 101), None);
+    }
+
+    #[test]
+    fn csv_export_quotes_when_needed() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["plain", "has,comma"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"has,comma\"");
+    }
+
+    #[test]
+    fn pct_formats_like_the_paper() {
+        assert_eq!(pct(0.434), "43.4%");
+        assert_eq!(pct(0.031), "3.1%");
+    }
+}

@@ -1,0 +1,329 @@
+//! Tunable parameters of the synthetic workload generator.
+//!
+//! Each of the 65 workloads is a [`GenParams`] instance plus a seed. The
+//! parameters deliberately expose exactly the program properties the paper's
+//! mechanisms are sensitive to:
+//!
+//! * the **address-pattern mix** controls how many loads the stride-based
+//!   Prefetch Table can cover (RFP coverage, Fig. 10/11),
+//! * the **working-set mix** controls the Fig. 2 hit distribution,
+//! * the **value mix** controls value-predictor coverage (Fig. 15),
+//! * `early_addr_frac` controls how many loads have their address operands
+//!   ready at allocate (the paper measures 37%, §3 "Timeliness"),
+//! * `fp_frac`/`fp_chain` reproduce the FSPEC FMA-latency bottleneck that
+//!   makes those workloads insensitive to L1 latency (§5.1).
+
+use rfp_types::ConfigError;
+
+/// Distribution of address behaviours across a workload's static loads.
+///
+/// Weights are relative (they are normalised before use) and must not all
+/// be zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AddrMix {
+    /// Fixed-stride streams — predictable by the RFP Prefetch Table.
+    pub stride: f64,
+    /// Row-major walks over a 2D array (mostly small stride, periodic row
+    /// jumps) — predictable by stride tables except at row boundaries, fully
+    /// predictable by the delta-context prefetcher (§5.5.3).
+    pub pattern2d: f64,
+    /// Same address every instance (stride 0) — trivially predictable.
+    pub constant: f64,
+    /// Pointer chasing: the next address is the previous instance's loaded
+    /// value. Unpredictable by stride/context tables and serialised through
+    /// the register file.
+    pub chase: f64,
+    /// Pseudo-random addresses within the region (hash-table/gather-like).
+    /// Unpredictable.
+    pub gather: f64,
+}
+
+impl AddrMix {
+    /// Returns the mix as a normalised weight array in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any weight is negative, non-finite, or all
+    /// weights are zero.
+    pub fn normalized(&self) -> Result<[f64; 5], ConfigError> {
+        normalize(
+            "addr_mix",
+            [
+                self.stride,
+                self.pattern2d,
+                self.constant,
+                self.chase,
+                self.gather,
+            ],
+        )
+    }
+}
+
+/// Distribution of loaded-value behaviours across a workload's static loads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueMix {
+    /// Loads that keep returning the same value (highly value-predictable).
+    pub constant: f64,
+    /// Loads whose values follow a fixed stride (EVES-predictable).
+    pub stride: f64,
+    /// Loads with pseudo-random values (value-unpredictable).
+    pub random: f64,
+}
+
+impl ValueMix {
+    /// Returns the mix as a normalised weight array in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any weight is negative, non-finite, or all
+    /// weights are zero.
+    pub fn normalized(&self) -> Result<[f64; 3], ConfigError> {
+        normalize("value_mix", [self.constant, self.stride, self.random])
+    }
+}
+
+/// Which level of the cache hierarchy a static load's working set fits in.
+///
+/// The generator sizes each load's memory region so the aggregate footprint
+/// of each class matches the intent (e.g. `L1`-class loads together stay
+/// within a fraction of the L1 capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkingSetClass {
+    /// Region fits comfortably in the L1 data cache.
+    L1,
+    /// Region fits in the L2 but not the L1.
+    L2,
+    /// Region fits in the LLC but not the L2.
+    Llc,
+    /// Region exceeds the LLC; accesses stream from DRAM.
+    Dram,
+}
+
+/// Distribution of [`WorkingSetClass`] across a workload's static loads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkingSetMix {
+    /// Weight of L1-resident loads.
+    pub l1: f64,
+    /// Weight of L2-resident loads.
+    pub l2: f64,
+    /// Weight of LLC-resident loads.
+    pub llc: f64,
+    /// Weight of DRAM-streaming loads.
+    pub dram: f64,
+}
+
+impl WorkingSetMix {
+    /// Returns the mix as a normalised weight array in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any weight is negative, non-finite, or all
+    /// weights are zero.
+    pub fn normalized(&self) -> Result<[f64; 4], ConfigError> {
+        normalize("ws_mix", [self.l1, self.l2, self.llc, self.dram])
+    }
+}
+
+/// Full parameter set for one synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenParams {
+    /// Number of static basic blocks in the synthesised loop body.
+    pub blocks: usize,
+    /// Minimum instructions per block (before the terminating branch).
+    pub block_min: usize,
+    /// Maximum instructions per block.
+    pub block_max: usize,
+    /// Fraction of body instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction of body instructions that are stores.
+    pub store_frac: f64,
+    /// Fraction of non-memory instructions that are FP (vs integer ALU).
+    pub fp_frac: f64,
+    /// Address-behaviour mix over static loads.
+    pub addr_mix: AddrMix,
+    /// Value-behaviour mix over static loads.
+    pub value_mix: ValueMix,
+    /// Working-set mix over static loads.
+    pub ws_mix: WorkingSetMix,
+    /// Fraction of loads whose address registers come from loop induction
+    /// variables (ready well before allocate). The paper measures 37% of
+    /// loads ready at allocate.
+    pub early_addr_frac: f64,
+    /// Probability that an ALU/FP source reads the most recent producer
+    /// (long dependence chains) rather than an old register.
+    pub chain_bias: f64,
+    /// Probability that each load is immediately followed by a dependent
+    /// ALU consumer (puts the load on the critical path).
+    pub load_consumer_frac: f64,
+    /// Per-dynamic-branch misprediction probability.
+    pub mispredict_rate: f64,
+    /// Serialise FP ops into a dependence chain (FMA-latency-bound code).
+    pub fp_chain: bool,
+    /// Fraction of loads that read an address written by a nearby older
+    /// store in the same iteration (exercises forwarding + memory
+    /// disambiguation).
+    pub store_alias_frac: f64,
+    /// Probability that an L1-resident load couples into the program's
+    /// *serial spine* — a loop-carried dependence chain threaded through
+    /// load results. This is what puts L1 latency on the critical path
+    /// (the paper's Fig. 3: L1 hits feeding the dependence chain of the
+    /// critical miss).
+    pub spine_frac: f64,
+    /// Probability that a late-address load derives its address from the
+    /// spine (rather than an arbitrary recent value).
+    pub addr_from_spine: f64,
+}
+
+impl GenParams {
+    /// Validates every field range.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.blocks == 0 {
+            return Err(ConfigError::new("blocks", "must be at least 1"));
+        }
+        if self.block_min == 0 || self.block_min > self.block_max {
+            return Err(ConfigError::new(
+                "block_min/block_max",
+                "need 1 <= block_min <= block_max",
+            ));
+        }
+        for (name, v) in [
+            ("load_frac", self.load_frac),
+            ("store_frac", self.store_frac),
+            ("fp_frac", self.fp_frac),
+            ("early_addr_frac", self.early_addr_frac),
+            ("chain_bias", self.chain_bias),
+            ("load_consumer_frac", self.load_consumer_frac),
+            ("mispredict_rate", self.mispredict_rate),
+            ("store_alias_frac", self.store_alias_frac),
+            ("spine_frac", self.spine_frac),
+            ("addr_from_spine", self.addr_from_spine),
+        ] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(ConfigError::new(name, "must be within [0, 1]"));
+            }
+        }
+        if self.load_frac + self.store_frac > 0.9 {
+            return Err(ConfigError::new(
+                "load_frac + store_frac",
+                "memory ops must leave room for compute (sum <= 0.9)",
+            ));
+        }
+        self.addr_mix.normalized()?;
+        self.value_mix.normalized()?;
+        self.ws_mix.normalized()?;
+        Ok(())
+    }
+}
+
+impl Default for GenParams {
+    /// A generic integer-code profile: ~25% loads, ~12% stores, mostly
+    /// stride-predictable addresses, L1-heavy working sets.
+    fn default() -> Self {
+        GenParams {
+            blocks: 6,
+            block_min: 10,
+            block_max: 22,
+            load_frac: 0.30,
+            store_frac: 0.13,
+            fp_frac: 0.05,
+            addr_mix: AddrMix {
+                stride: 0.52,
+                pattern2d: 0.08,
+                constant: 0.08,
+                chase: 0.24,
+                gather: 0.08,
+            },
+            value_mix: ValueMix {
+                constant: 0.12,
+                stride: 0.08,
+                random: 0.80,
+            },
+            ws_mix: WorkingSetMix {
+                l1: 0.920,
+                l2: 0.040,
+                llc: 0.020,
+                dram: 0.010,
+            },
+            early_addr_frac: 0.15,
+            chain_bias: 0.55,
+            load_consumer_frac: 0.75,
+            mispredict_rate: 0.02,
+            fp_chain: false,
+            store_alias_frac: 0.06,
+            spine_frac: 0.90,
+            addr_from_spine: 0.50,
+        }
+    }
+}
+
+fn normalize<const N: usize>(field: &str, weights: [f64; N]) -> Result<[f64; N], ConfigError> {
+    let mut sum = 0.0;
+    for &w in &weights {
+        if !(w >= 0.0) || !w.is_finite() {
+            return Err(ConfigError::new(field, "weights must be finite and >= 0"));
+        }
+        sum += w;
+    }
+    if sum <= 0.0 {
+        return Err(ConfigError::new(field, "weights must not all be zero"));
+    }
+    let mut out = weights;
+    for w in &mut out {
+        *w /= sum;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_validate() {
+        GenParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn mixes_normalise_to_one() {
+        let m = GenParams::default().addr_mix.normalized().unwrap();
+        let sum: f64 = m.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_fraction_is_rejected() {
+        let mut p = GenParams::default();
+        p.load_frac = 1.5;
+        assert_eq!(p.validate().unwrap_err().field(), "load_frac");
+    }
+
+    #[test]
+    fn zero_mix_is_rejected() {
+        let mut p = GenParams::default();
+        p.value_mix = ValueMix {
+            constant: 0.0,
+            stride: 0.0,
+            random: 0.0,
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn memory_heavy_mix_is_rejected() {
+        let mut p = GenParams::default();
+        p.load_frac = 0.6;
+        p.store_frac = 0.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn negative_weight_is_rejected() {
+        let mut p = GenParams::default();
+        p.addr_mix.stride = -1.0;
+        assert!(p.validate().is_err());
+    }
+}

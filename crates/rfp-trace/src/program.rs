@@ -1,0 +1,763 @@
+//! Synthesis of a *static* program: a loop body of basic blocks with real
+//! register dataflow, whose memory instructions are bound to address/value
+//! pattern generators.
+//!
+//! The static program is built once per workload (seeded, deterministic) and
+//! then unrolled by [`crate::TraceGen`] into a dynamic micro-op stream. This
+//! mirrors how predictors see real programs: a bounded set of static PCs,
+//! each with its own per-PC address and value behaviour.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rfp_types::{Addr, ArchReg, Pc};
+
+use crate::params::{GenParams, WorkingSetClass};
+
+/// First PC of the synthesised program; instructions are 4 bytes apart.
+pub const PROGRAM_BASE_PC: u64 = 0x0040_0000;
+
+/// Number of loop-induction registers (`r0..r3`), updated once per
+/// iteration and therefore "ready early" for address generation.
+pub const NUM_INDUCTION_REGS: u8 = 4;
+/// Register reserved for the serialised FP chain.
+pub const FP_CHAIN_REG: u8 = 4;
+/// Register carrying the serial spine — the loop-carried dependence chain
+/// threaded through load results that puts load latency on the critical
+/// path.
+pub const SPINE_REG: u8 = 5;
+/// First register of the general rotating destination pool.
+pub const POOL_FIRST: u8 = 8;
+/// Size of the general rotating destination pool.
+pub const POOL_SIZE: u8 = 40;
+/// First register dedicated to pointer-chase loads (one each, self-loop).
+pub const CHASE_FIRST: u8 = POOL_FIRST + POOL_SIZE;
+/// Maximum number of chase registers.
+pub const MAX_CHASE_REGS: u8 = 16;
+
+/// How a static load's (or store's) addresses evolve across iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrPattern {
+    /// `addr_i = base + (i * stride) mod region`.
+    Stride {
+        /// Byte stride between successive instances.
+        stride: i64,
+    },
+    /// A stride that alternates between two values every `phase_len`
+    /// instances (e.g. a loop walking two interleaved arrays, or a stride
+    /// that changes with an outer-loop phase). A stride table keeps
+    /// re-learning at each switch, which is where the paper's ~5%
+    /// wrong-address prefetches come from.
+    PhasedStride {
+        /// Stride during even phases.
+        s1: i64,
+        /// Stride during odd phases.
+        s2: i64,
+        /// Instances per phase.
+        phase_len: u64,
+    },
+    /// Row-major 2D walk: small element stride within a row, then a jump.
+    Pattern2D {
+        /// Element stride within a row.
+        elem: i64,
+        /// Elements per row.
+        row_len: u64,
+    },
+    /// The same address on every instance.
+    Constant,
+    /// Pointer chase: `addr_{i+1}` is the value loaded by instance `i`.
+    Chase,
+    /// Pseudo-random address within the region on every instance.
+    Gather,
+}
+
+/// How a static load's values evolve across iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValuePattern {
+    /// Always the same value.
+    Constant(u64),
+    /// Values follow a fixed stride.
+    Stride {
+        /// First value.
+        start: u64,
+        /// Value delta between instances.
+        stride: u64,
+    },
+    /// Pseudo-random values.
+    Random,
+    /// The value is whatever the paired aliased store wrote this iteration.
+    FromAliasedStore,
+    /// The value is the next pointer of the chase walk (set by the address
+    /// generator).
+    ChasePointer,
+}
+
+/// A memory access stream shared by one or more static instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSpec {
+    /// Address behaviour.
+    pub addr: AddrPattern,
+    /// Value behaviour.
+    pub value: ValuePattern,
+    /// Working-set class used to size `region_bytes`.
+    pub ws: WorkingSetClass,
+    /// First byte of the stream's memory region.
+    pub base: Addr,
+    /// Region size in bytes; all addresses stay within it.
+    pub region_bytes: u64,
+    /// For aliased-load streams, the index of the store pattern whose
+    /// addresses (and per-iteration values) this stream mirrors.
+    pub alias_of: Option<usize>,
+}
+
+/// The functional class of a static instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StaticKind {
+    /// Integer ALU op.
+    Alu {
+        /// Execution latency in cycles.
+        latency: u8,
+    },
+    /// FP/vector op.
+    Fp {
+        /// Execution latency in cycles.
+        latency: u8,
+    },
+    /// Load bound to `patterns[pattern]`.
+    Load {
+        /// Index into [`Program::patterns`].
+        pattern: usize,
+    },
+    /// Store bound to `patterns[pattern]`.
+    Store {
+        /// Index into [`Program::patterns`].
+        pattern: usize,
+    },
+    /// Conditional branch ending a basic block, taken with the given
+    /// probability on each dynamic instance.
+    Branch {
+        /// Probability the branch is taken.
+        taken_bias: f64,
+    },
+}
+
+/// One static instruction of the synthesised loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticInst {
+    /// Program counter.
+    pub pc: Pc,
+    /// Functional class.
+    pub kind: StaticKind,
+    /// Register sources.
+    pub srcs: [Option<ArchReg>; crate::MAX_SRCS],
+    /// Register destination.
+    pub dst: Option<ArchReg>,
+}
+
+/// A complete synthetic static program.
+///
+/// # Examples
+///
+/// ```
+/// use rfp_trace::{GenParams, Program};
+/// let prog = Program::synthesize(&GenParams::default(), 42).unwrap();
+/// assert!(prog.insts.len() > 20);
+/// assert!(prog.static_loads() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The loop body, flattened in program order.
+    pub insts: Vec<StaticInst>,
+    /// Address/value stream generators referenced by memory instructions.
+    pub patterns: Vec<PatternSpec>,
+    /// Per-dynamic-branch misprediction probability, copied from the
+    /// generator parameters.
+    pub mispredict_rate: f64,
+}
+
+impl Program {
+    /// Synthesises a static program from `params` with deterministic
+    /// randomness derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`rfp_types::ConfigError`] when `params` fail validation.
+    pub fn synthesize(params: &GenParams, seed: u64) -> Result<Program, rfp_types::ConfigError> {
+        params.validate()?;
+        let mut b = Builder::new(params, seed);
+        b.build();
+        Ok(b.finish())
+    }
+
+    /// Returns the number of static load instructions.
+    pub fn static_loads(&self) -> usize {
+        self.insts
+            .iter()
+            .filter(|i| matches!(i.kind, StaticKind::Load { .. }))
+            .count()
+    }
+
+    /// Returns the number of static store instructions.
+    pub fn static_stores(&self) -> usize {
+        self.insts
+            .iter()
+            .filter(|i| matches!(i.kind, StaticKind::Store { .. }))
+            .count()
+    }
+}
+
+struct Builder<'p> {
+    params: &'p GenParams,
+    rng: SmallRng,
+    insts: Vec<StaticInst>,
+    patterns: Vec<PatternSpec>,
+    recent_defs: Vec<ArchReg>,
+    pool_next: u8,
+    induction_next: u8,
+    chase_next: u8,
+    chain_count: usize,
+    late_count: usize,
+    /// (pattern index, addr regs) of stores in the current block, available
+    /// for aliased loads.
+    block_stores: Vec<(usize, [Option<ArchReg>; crate::MAX_SRCS])>,
+    addr_weights: [f64; 5],
+    value_weights: [f64; 3],
+    ws_weights: [f64; 4],
+}
+
+impl<'p> Builder<'p> {
+    fn new(params: &'p GenParams, seed: u64) -> Self {
+        Builder {
+            params,
+            rng: SmallRng::seed_from_u64(seed ^ PROGRAM_SEED_SALT),
+            insts: Vec::new(),
+            patterns: Vec::new(),
+            recent_defs: Vec::new(),
+            pool_next: 0,
+            induction_next: 0,
+            chase_next: 0,
+            chain_count: 0,
+            late_count: 0,
+            block_stores: Vec::new(),
+            addr_weights: params.addr_mix.normalized().expect("validated"),
+            value_weights: params.value_mix.normalized().expect("validated"),
+            ws_weights: params.ws_mix.normalized().expect("validated"),
+        }
+    }
+
+    fn build(&mut self) {
+        self.emit_induction_updates();
+        for _ in 0..self.params.blocks {
+            self.build_block();
+        }
+        self.assign_pcs();
+        self.size_regions();
+    }
+
+    fn finish(self) -> Program {
+        Program {
+            insts: self.insts,
+            patterns: self.patterns,
+            mispredict_rate: self.params.mispredict_rate,
+        }
+    }
+
+    /// Loop head: bump each induction register (`r_i += 1`). These become
+    /// the "ready early" address sources.
+    fn emit_induction_updates(&mut self) {
+        for i in 0..NUM_INDUCTION_REGS {
+            let r = ArchReg::new(i);
+            self.push(StaticKind::Alu { latency: 1 }, &[r], Some(r));
+        }
+    }
+
+    fn build_block(&mut self) {
+        self.block_stores.clear();
+        let n = self
+            .rng
+            .gen_range(self.params.block_min..=self.params.block_max);
+        for _ in 0..n {
+            let roll: f64 = self.rng.gen();
+            if roll < self.params.load_frac {
+                self.emit_load();
+            } else if roll < self.params.load_frac + self.params.store_frac {
+                self.emit_store();
+            } else {
+                self.emit_compute();
+            }
+        }
+        self.emit_branch();
+    }
+
+    fn emit_compute(&mut self) {
+        let is_fp = self.rng.gen_bool(self.params.fp_frac);
+        let mut srcs: Vec<ArchReg> = Vec::with_capacity(2);
+        if is_fp && self.params.fp_chain {
+            srcs.push(ArchReg::new(FP_CHAIN_REG));
+        } else {
+            srcs.push(self.pick_source());
+        }
+        if self.rng.gen_bool(0.6) {
+            srcs.push(self.pick_source());
+        }
+        if is_fp {
+            let latency = if self.rng.gen_bool(0.7) { 4 } else { 5 };
+            let dst = if self.params.fp_chain {
+                ArchReg::new(FP_CHAIN_REG)
+            } else {
+                self.next_pool_reg()
+            };
+            self.push(StaticKind::Fp { latency }, &srcs, Some(dst));
+        } else {
+            let latency = if self.rng.gen_bool(0.85) { 1 } else { 3 };
+            let dst = self.next_pool_reg();
+            self.push(StaticKind::Alu { latency }, &srcs, Some(dst));
+        }
+    }
+
+    fn emit_load(&mut self) {
+        // Aliased load: reuse an earlier store's stream and address regs.
+        if !self.block_stores.is_empty() && self.rng.gen_bool(self.params.store_alias_frac) {
+            let idx = self.rng.gen_range(0..self.block_stores.len());
+            let (pattern, store_srcs) = self.block_stores[idx];
+            // The load reads the address registers the store used (minus the
+            // data register, which is the last populated slot).
+            let mut srcs = store_srcs;
+            if let Some(last) = srcs.iter_mut().rev().find(|s| s.is_some()) {
+                *last = None;
+            }
+            let alias_pat = self.alias_load_pattern(pattern);
+            let dst = self.next_pool_reg();
+            self.insts.push(StaticInst {
+                pc: Pc::new(0),
+                kind: StaticKind::Load {
+                    pattern: alias_pat,
+                },
+                srcs,
+                dst: Some(dst),
+            });
+            self.note_def(dst);
+            self.maybe_emit_consumer(dst);
+            return;
+        }
+
+        let ws = self.pick_ws();
+        let addr = self.pick_addr_pattern(ws);
+        if matches!(addr, AddrPattern::Chase) && self.chase_next < MAX_CHASE_REGS {
+            self.emit_chase_load(ws);
+            return;
+        }
+        let addr = match addr {
+            // Out of chase registers: degrade to gather (still unpredictable).
+            AddrPattern::Chase => AddrPattern::Gather,
+            other => other,
+        };
+        let (srcs, from_spine) = self.load_addr_sources();
+        // Chain (spine-addressed) loads alternate between irregular and
+        // regular access: pointer-arithmetic address chains rarely walk
+        // neat strides end-to-end. Alternating (rather than coin-flipping)
+        // guarantees every chain mixes covered and uncovered hops, so no
+        // workload's critical path is entirely RFP-covered — the property
+        // behind the paper's 3.1% gain at 43% coverage against a 9% oracle.
+        let addr = if from_spine {
+            self.chain_count += 1;
+            if self.chain_count % 2 == 1 {
+                AddrPattern::Gather
+            } else {
+                addr
+            }
+        } else {
+            addr
+        };
+        // Chain loads carry pointers/indices — value prediction rarely
+        // covers them (which is why VP and RFP end up complementary, §5.3).
+        let value = if from_spine {
+            ValuePattern::Random
+        } else {
+            self.pick_value_pattern()
+        };
+        let pattern = self.new_pattern(addr, value, ws);
+        let dst = self.next_pool_reg();
+        self.push(StaticKind::Load { pattern }, &srcs, Some(dst));
+        self.couple_spine(dst, ws, from_spine);
+        self.maybe_emit_consumer(dst);
+    }
+
+    /// A pointer-chase load: dedicated register, loop-carried self
+    /// dependence (`addr_{i+1}` flows from the value loaded by instance `i`).
+    fn emit_chase_load(&mut self, ws: WorkingSetClass) {
+        let reg = ArchReg::new(CHASE_FIRST + self.chase_next);
+        self.chase_next += 1;
+        let pattern = self.new_pattern(AddrPattern::Chase, ValuePattern::ChasePointer, ws);
+        self.push(StaticKind::Load { pattern }, &[reg], Some(reg));
+        self.couple_spine(reg, ws, false);
+        self.maybe_emit_consumer(reg);
+    }
+
+    fn emit_store(&mut self) {
+        let ws = self.pick_ws();
+        let addr = match self.pick_addr_pattern(ws) {
+            // Stores don't pointer-chase; keep their streams simple.
+            AddrPattern::Chase => AddrPattern::Stride {
+                stride: self.pick_stride(ws),
+            },
+            other => other,
+        };
+        let pattern = self.new_pattern(addr, ValuePattern::Random, ws);
+        let (mut srcs, _) = self.load_addr_sources();
+        srcs.push(self.pick_source()); // data register
+        self.push(StaticKind::Store { pattern }, &srcs, None);
+        let packed = self.insts.last().expect("just pushed").srcs;
+        self.block_stores.push((pattern, packed));
+    }
+
+    fn emit_branch(&mut self) {
+        let src = self.pick_source();
+        // Most branches are strongly biased (loop back-edges, guards); a
+        // few are balanced — the mix a real front-end predictor sees.
+        let taken_bias = if self.rng.gen_bool(0.8) {
+            if self.rng.gen_bool(0.5) { 0.95 } else { 0.05 }
+        } else {
+            self.rng.gen_range(0.3..0.7)
+        };
+        self.push(StaticKind::Branch { taken_bias }, &[src], None);
+    }
+
+    /// Couples an L1-resident load into the serial spine: the spine
+    /// register is recomputed from its previous value and the load's
+    /// result, creating a loop-carried chain through load latencies.
+    /// Only L1-class loads join — a DRAM-class load on the spine would
+    /// serialise the whole program behind memory (the paper's critical
+    /// chains are made of L1 hits, Fig. 3).
+    /// Extends the serial spine through this load. Spine-*addressed* loads
+    /// always rejoin (they form the dependence chain of paper Fig. 3); other
+    /// L1-resident loads join occasionally. Loads whose data lives beyond
+    /// the L1 never extend the spine — they hang *off* it as the critical
+    /// misses the chain feeds, exactly the paper's picture.
+    fn couple_spine(&mut self, load_dst: ArchReg, ws: WorkingSetClass, from_spine: bool) {
+        if ws != WorkingSetClass::L1 {
+            return;
+        }
+        let join = from_spine || self.rng.gen_bool(self.params.spine_frac * 0.05);
+        if join {
+            let spine = ArchReg::new(SPINE_REG);
+            self.push(StaticKind::Alu { latency: 1 }, &[spine, load_dst], Some(spine));
+        }
+    }
+
+    /// Emits the dependent ALU consumer that puts a load on the critical
+    /// path (with probability `load_consumer_frac`).
+    fn maybe_emit_consumer(&mut self, load_dst: ArchReg) {
+        if self.rng.gen_bool(self.params.load_consumer_frac) {
+            let dst = self.next_pool_reg();
+            self.push(StaticKind::Alu { latency: 1 }, &[load_dst], Some(dst));
+        }
+    }
+
+    /// Address sources for a non-chase load/store: an induction register
+    /// (ready early) or a freshly computed `lea` (ready late). Late
+    /// addresses preferentially derive from the serial spine, which makes
+    /// the address chain itself flow through prior load results.
+    fn load_addr_sources(&mut self) -> (Vec<ArchReg>, bool) {
+        if self.rng.gen_bool(self.params.early_addr_frac) {
+            (vec![self.pick_induction()], false)
+        } else {
+            // Deterministic striping (every k-th late load joins the chain)
+            // rather than a coin flip: per-seed chain-length variance would
+            // otherwise make a few workloads almost entirely chain-bound.
+            self.late_count += 1;
+            let k = (1.0 / self.params.addr_from_spine.max(0.05)).round() as usize;
+            let from_spine = self.late_count.is_multiple_of(k.max(1));
+            let base = if from_spine {
+                ArchReg::new(SPINE_REG)
+            } else {
+                self.pick_source()
+            };
+            let idx = self.pick_induction();
+            let lea = self.next_pool_reg();
+            self.push(StaticKind::Alu { latency: 1 }, &[base, idx], Some(lea));
+            (vec![lea], from_spine)
+        }
+    }
+
+    fn alias_load_pattern(&mut self, store_pattern: usize) -> usize {
+        let spec = self.patterns[store_pattern].clone();
+        self.patterns.push(PatternSpec {
+            value: ValuePattern::FromAliasedStore,
+            alias_of: Some(store_pattern),
+            ..spec
+        });
+        self.patterns.len() - 1
+    }
+
+    fn new_pattern(&mut self, addr: AddrPattern, value: ValuePattern, ws: WorkingSetClass) -> usize {
+        self.patterns.push(PatternSpec {
+            addr,
+            value,
+            ws,
+            // Placeholder; regions are laid out by `size_regions`.
+            base: Addr::new(0),
+            region_bytes: 0,
+            alias_of: None,
+        });
+        self.patterns.len() - 1
+    }
+
+    fn pick_addr_pattern(&mut self, ws: WorkingSetClass) -> AddrPattern {
+        match self.pick_weighted(&self.addr_weights.clone()) {
+            0 => {
+                let stride = self.pick_stride(ws);
+                if self.rng.gen_bool(0.3) {
+                    AddrPattern::PhasedStride {
+                        s1: stride,
+                        s2: self.pick_stride(ws),
+                        phase_len: self.rng.gen_range(48..=128),
+                    }
+                } else {
+                    AddrPattern::Stride { stride }
+                }
+            }
+            1 => AddrPattern::Pattern2D {
+                elem: self.pick_stride(ws).abs().max(4),
+                row_len: self.rng.gen_range(16..=64),
+            },
+            2 => AddrPattern::Constant,
+            3 => AddrPattern::Chase,
+            _ => AddrPattern::Gather,
+        }
+    }
+
+    fn pick_value_pattern(&mut self) -> ValuePattern {
+        match self.pick_weighted(&self.value_weights.clone()) {
+            0 => ValuePattern::Constant(self.rng.gen()),
+            1 => ValuePattern::Stride {
+                start: self.rng.gen(),
+                stride: self.rng.gen_range(1..=64),
+            },
+            _ => ValuePattern::Random,
+        }
+    }
+
+    fn pick_ws(&mut self) -> WorkingSetClass {
+        match self.pick_weighted(&self.ws_weights.clone()) {
+            0 => WorkingSetClass::L1,
+            1 => WorkingSetClass::L2,
+            2 => WorkingSetClass::Llc,
+            _ => WorkingSetClass::Dram,
+        }
+    }
+
+    fn pick_stride(&mut self, ws: WorkingSetClass) -> i64 {
+        // Cache-resident sets walk at element granularity; sets larger than
+        // the L1 stream line-by-line (each access is a fresh line, so the
+        // class cleanly determines the serving tier).
+        let s = match ws {
+            WorkingSetClass::L1 => {
+                const STRIDES: [i64; 8] = [4, 8, 8, 8, 16, 16, 32, 64];
+                STRIDES[self.rng.gen_range(0..STRIDES.len())]
+            }
+            _ => 64,
+        };
+        if self.rng.gen_bool(0.1) {
+            -s
+        } else {
+            s
+        }
+    }
+
+    fn pick_weighted(&mut self, weights: &[f64]) -> usize {
+        let roll: f64 = self.rng.gen();
+        let mut acc = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            acc += w;
+            if roll < acc {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    fn pick_source(&mut self) -> ArchReg {
+        if !self.recent_defs.is_empty() && self.rng.gen_bool(self.params.chain_bias) {
+            *self.recent_defs.last().expect("non-empty")
+        } else if !self.recent_defs.is_empty() && self.rng.gen_bool(0.5) {
+            let i = self.rng.gen_range(0..self.recent_defs.len());
+            self.recent_defs[i]
+        } else {
+            self.pick_induction()
+        }
+    }
+
+    fn pick_induction(&mut self) -> ArchReg {
+        let r = ArchReg::new(self.induction_next);
+        self.induction_next = (self.induction_next + 1) % NUM_INDUCTION_REGS;
+        r
+    }
+
+    fn next_pool_reg(&mut self) -> ArchReg {
+        let r = ArchReg::new(POOL_FIRST + self.pool_next);
+        self.pool_next = (self.pool_next + 1) % POOL_SIZE;
+        r
+    }
+
+    fn note_def(&mut self, r: ArchReg) {
+        // Window far smaller than the pool, so a recorded def is never
+        // recycled before a consumer could read it.
+        const WINDOW: usize = 12;
+        self.recent_defs.push(r);
+        if self.recent_defs.len() > WINDOW {
+            self.recent_defs.remove(0);
+        }
+    }
+
+    fn push(&mut self, kind: StaticKind, srcs: &[ArchReg], dst: Option<ArchReg>) {
+        let mut packed = [None; crate::MAX_SRCS];
+        for (slot, &r) in packed.iter_mut().zip(srcs) {
+            *slot = Some(r);
+        }
+        self.insts.push(StaticInst {
+            pc: Pc::new(0),
+            kind,
+            srcs: packed,
+            dst,
+        });
+        if let Some(d) = dst {
+            self.note_def(d);
+        }
+    }
+
+    fn assign_pcs(&mut self) {
+        for (i, inst) in self.insts.iter_mut().enumerate() {
+            inst.pc = Pc::new(PROGRAM_BASE_PC + (i as u64) * 4);
+        }
+    }
+
+    /// Lays out one memory region per pattern so that the *aggregate*
+    /// footprint of each working-set class matches its intent.
+    fn size_regions(&mut self) {
+        // Aggregate budgets per class (bytes). L1 is 48 KB in the baseline
+        // core; staying near half leaves room for stores and stack-like
+        // traffic.
+        const L1_BUDGET: u64 = 24 << 10;
+        const L2_BUDGET: u64 = 640 << 10;
+        const LLC_BUDGET: u64 = 6 << 20;
+        const DRAM_EACH: u64 = 32 << 20;
+
+        let mut counts = [0u64; 4];
+        for p in &self.patterns {
+            if p.alias_of.is_none() {
+                counts[ws_index(p.ws)] += 1;
+            }
+        }
+        let mut next_base: u64 = 0x1000_0000;
+        let mut idx: u64 = 0;
+        for p in &mut self.patterns {
+            if p.alias_of.is_some() {
+                continue; // aliased copies share the original's region
+            }
+            let class = ws_index(p.ws);
+            let n = counts[class].max(1);
+            let region = match p.ws {
+                WorkingSetClass::L1 => (L1_BUDGET / n).clamp(256, 8 << 10),
+                // Small enough to wrap within a typical warmup (line-grain
+                // strides), so the set becomes genuinely L2/LLC-resident.
+                WorkingSetClass::L2 => (L2_BUDGET / n).clamp(48 << 10, 96 << 10),
+                WorkingSetClass::Llc => (LLC_BUDGET / n).clamp(1 << 20, 2 << 20),
+                WorkingSetClass::Dram => DRAM_EACH,
+            };
+            let region = region.next_power_of_two();
+            // Stagger bases at line and page granularity: power-of-two
+            // aligned bases would all map to the same cache set and the
+            // same TLB set — a pathology real heaps don't have.
+            idx += 1;
+            let stagger = (idx % 61) * rfp_types::PAGE_BYTES + (idx % 59) * 64;
+            p.base = Addr::new(next_base + stagger);
+            p.region_bytes = region;
+            next_base += region.max(1 << 20) + (1 << 20) + stagger.next_multiple_of(1 << 20);
+        }
+        for i in 0..self.patterns.len() {
+            if let Some(src) = self.patterns[i].alias_of {
+                self.patterns[i].base = self.patterns[src].base;
+                self.patterns[i].region_bytes = self.patterns[src].region_bytes;
+            }
+        }
+    }
+}
+
+fn ws_index(ws: WorkingSetClass) -> usize {
+    match ws {
+        WorkingSetClass::L1 => 0,
+        WorkingSetClass::L2 => 1,
+        WorkingSetClass::Llc => 2,
+        WorkingSetClass::Dram => 3,
+    }
+}
+
+/// Salt mixed into seeds so program synthesis and dynamic generation use
+/// decorrelated RNG streams even for the same workload seed.
+const PROGRAM_SEED_SALT: u64 = 0x5eed_0f1e_0000_0001;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let p = GenParams::default();
+        let a = Program::synthesize(&p, 7).unwrap();
+        let b = Program::synthesize(&p, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = GenParams::default();
+        let a = Program::synthesize(&p, 1).unwrap();
+        let b = Program::synthesize(&p, 2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_memory_inst_references_a_valid_pattern() {
+        let prog = Program::synthesize(&GenParams::default(), 3).unwrap();
+        for inst in &prog.insts {
+            match inst.kind {
+                StaticKind::Load { pattern } | StaticKind::Store { pattern } => {
+                    assert!(pattern < prog.patterns.len());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn regions_are_disjoint_unless_aliased() {
+        let prog = Program::synthesize(&GenParams::default(), 11).unwrap();
+        let mut spans: Vec<(u64, u64)> = prog
+            .patterns
+            .iter()
+            .map(|p| (p.base.raw(), p.base.raw() + p.region_bytes))
+            .collect();
+        spans.sort_unstable();
+        spans.dedup();
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "regions overlap: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn pcs_are_unique_and_word_aligned() {
+        let prog = Program::synthesize(&GenParams::default(), 5).unwrap();
+        let mut pcs: Vec<u64> = prog.insts.iter().map(|i| i.pc.raw()).collect();
+        let n = pcs.len();
+        pcs.sort_unstable();
+        pcs.dedup();
+        assert_eq!(pcs.len(), n);
+        assert!(pcs.iter().all(|pc| pc % 4 == 0));
+    }
+
+    #[test]
+    fn all_regions_are_sized() {
+        let prog = Program::synthesize(&GenParams::default(), 13).unwrap();
+        assert!(prog.patterns.iter().all(|p| p.region_bytes > 0));
+    }
+}

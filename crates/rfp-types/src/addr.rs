@@ -1,0 +1,171 @@
+//! Virtual address type with cache-line and page helpers.
+
+use std::fmt;
+
+/// log2 of the cache line size.
+pub const CACHE_LINE_SHIFT: u32 = 6;
+/// Cache line size in bytes (64 B, as in every processor the paper cites).
+pub const CACHE_LINE_BYTES: u64 = 1 << CACHE_LINE_SHIFT;
+/// log2 of the page size.
+pub const PAGE_SHIFT: u32 = 12;
+/// Page size in bytes (4 KiB).
+pub const PAGE_BYTES: u64 = 1 << PAGE_SHIFT;
+
+/// A 64-bit virtual address.
+///
+/// The RFP Prefetch Table, the Page Address Table, the caches and the TLBs
+/// all slice addresses differently (line, set index, page frame, page
+/// offset); the helpers here keep that bit manipulation in one place.
+///
+/// # Examples
+///
+/// ```
+/// use rfp_types::Addr;
+///
+/// let a = Addr::new(0x1000 + 65);
+/// assert_eq!(a.line().raw(), 0x1040);
+/// assert_eq!(a.page_frame(), 0x1);
+/// assert_eq!(a.page_offset(), 65);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from its raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address of the first byte of the containing cache line.
+    pub const fn line(self) -> Addr {
+        Addr(self.0 & !(CACHE_LINE_BYTES - 1))
+    }
+
+    /// Returns the line number (raw address divided by the line size).
+    pub const fn line_number(self) -> u64 {
+        self.0 >> CACHE_LINE_SHIFT
+    }
+
+    /// Returns the byte offset within the containing cache line.
+    pub const fn offset_in_line(self) -> u64 {
+        self.0 & (CACHE_LINE_BYTES - 1)
+    }
+
+    /// Returns the address of the first byte of the containing page.
+    pub const fn page(self) -> Addr {
+        Addr(self.0 & !(PAGE_BYTES - 1))
+    }
+
+    /// Returns the page frame number (bits 63:12), the quantity the Page
+    /// Address Table deduplicates (paper §3.5).
+    pub const fn page_frame(self) -> u64 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Returns the 12-bit offset within the page, the part the Prefetch
+    /// Table stores directly (paper §3.5).
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_BYTES - 1)
+    }
+
+    /// Returns the address shifted by a signed byte delta, wrapping on
+    /// overflow (addresses form a 2^64 ring).
+    pub const fn offset(self, delta: i64) -> Addr {
+        Addr(self.0.wrapping_add(delta as u64))
+    }
+
+    /// Returns the signed byte distance `self - earlier`, as the stride
+    /// detector computes it. Distances beyond `i64` wrap.
+    pub const fn stride_from(self, earlier: Addr) -> i64 {
+        self.0.wrapping_sub(earlier.0) as i64
+    }
+
+    /// Rebuilds an address from a page frame number and a page offset.
+    ///
+    /// Only the low [`PAGE_SHIFT`] bits of `page_offset` are used.
+    pub const fn from_page_parts(page_frame: u64, page_offset: u64) -> Addr {
+        Addr((page_frame << PAGE_SHIFT) | (page_offset & (PAGE_BYTES - 1)))
+    }
+
+    /// Returns true when `self` and `other` touch the same cache line.
+    pub const fn same_line(self, other: Addr) -> bool {
+        self.line_number() == other.line_number()
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> u64 {
+        a.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_helpers_round_trip() {
+        let a = Addr::new(0xdead_beef);
+        assert_eq!(a.line().raw() + a.offset_in_line(), a.raw());
+        assert_eq!(a.line().offset_in_line(), 0);
+        assert_eq!(a.line_number() * CACHE_LINE_BYTES, a.line().raw());
+    }
+
+    #[test]
+    fn page_parts_round_trip() {
+        let a = Addr::new(0x1234_5678_9abc);
+        let rebuilt = Addr::from_page_parts(a.page_frame(), a.page_offset());
+        assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn stride_is_signed() {
+        let base = Addr::new(0x1000);
+        assert_eq!(base.offset(64).stride_from(base), 64);
+        assert_eq!(base.offset(-64).stride_from(base), -64);
+        assert_eq!(base.stride_from(base), 0);
+    }
+
+    #[test]
+    fn same_line_detects_boundaries() {
+        let a = Addr::new(0x1000);
+        assert!(a.same_line(a.offset(63)));
+        assert!(!a.same_line(a.offset(64)));
+    }
+
+    #[test]
+    fn offset_wraps_like_hardware() {
+        let top = Addr::new(u64::MAX);
+        assert_eq!(top.offset(1), Addr::new(0));
+        assert_eq!(Addr::new(0).offset(-1), top);
+    }
+}

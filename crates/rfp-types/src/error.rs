@@ -1,0 +1,71 @@
+//! Error types shared across the simulator crates.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid simulator configuration.
+///
+/// Returned by configuration validators before a simulation starts, e.g. a
+/// cache whose size is not divisible by its associativity, or a core whose
+/// reservation station is larger than its reorder buffer.
+///
+/// # Examples
+///
+/// ```
+/// use rfp_types::ConfigError;
+/// let e = ConfigError::new("rob_entries", "must be at least the dispatch width");
+/// assert!(e.to_string().contains("rob_entries"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    field: String,
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error for `field` with a human-readable
+    /// `message` explaining the constraint that was violated.
+    pub fn new(field: impl Into<String>, message: impl Into<String>) -> Self {
+        ConfigError {
+            field: field.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Returns the name of the offending configuration field.
+    pub fn field(&self) -> &str {
+        &self.field
+    }
+
+    /// Returns the description of the violated constraint.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}: {}", self.field, self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field_and_message() {
+        let e = ConfigError::new("l1_latency", "must be nonzero");
+        let s = e.to_string();
+        assert!(s.contains("l1_latency"));
+        assert!(s.contains("must be nonzero"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

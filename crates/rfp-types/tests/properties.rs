@@ -1,0 +1,59 @@
+//! Property tests of the address/id bit manipulation — these underpin
+//! every predictor index and cache set computation in the workspace.
+
+use proptest::prelude::*;
+use rfp_types::{geomean, Addr, Pc, SeqNum, CACHE_LINE_BYTES, PAGE_BYTES};
+
+proptest! {
+    #[test]
+    fn line_decomposition_reassembles(raw in any::<u64>()) {
+        let a = Addr::new(raw);
+        prop_assert_eq!(a.line().raw() + a.offset_in_line(), raw);
+        prop_assert!(a.offset_in_line() < CACHE_LINE_BYTES);
+        prop_assert_eq!(a.line().offset_in_line(), 0);
+    }
+
+    #[test]
+    fn page_decomposition_reassembles(raw in any::<u64>()) {
+        let a = Addr::new(raw);
+        prop_assert_eq!(Addr::from_page_parts(a.page_frame(), a.page_offset()), a);
+        prop_assert!(a.page_offset() < PAGE_BYTES);
+    }
+
+    #[test]
+    fn stride_and_offset_are_inverse(raw in any::<u64>(), delta in any::<i64>()) {
+        let a = Addr::new(raw);
+        let b = a.offset(delta);
+        prop_assert_eq!(b.stride_from(a), delta);
+    }
+
+    #[test]
+    fn same_line_is_reflexive_and_consistent(raw in any::<u64>(), delta in 0u64..CACHE_LINE_BYTES) {
+        let a = Addr::new(raw & !(CACHE_LINE_BYTES - 1));
+        prop_assert!(a.same_line(a));
+        prop_assert!(a.same_line(a.offset(delta as i64)));
+        prop_assert!(!a.same_line(a.offset(CACHE_LINE_BYTES as i64)));
+    }
+
+    #[test]
+    fn pc_index_and_tag_are_in_range(raw in any::<u64>(), idx_bits in 1u32..20, tag_bits in 1u32..30) {
+        let pc = Pc::new(raw);
+        prop_assert!(pc.index_bits(idx_bits) < (1 << idx_bits));
+        prop_assert!(pc.tag_bits(idx_bits, tag_bits) < (1 << tag_bits));
+    }
+
+    #[test]
+    fn seqnum_order_is_total_on_distinct(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let (x, y) = (SeqNum::new(a), SeqNum::new(b));
+        prop_assert!(x.is_older_than(y) ^ y.is_older_than(x));
+    }
+
+    #[test]
+    fn geomean_bounds_hold(vals in proptest::collection::vec(0.01f64..100.0, 1..20)) {
+        let g = geomean(&vals).unwrap();
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(g >= min * 0.999 && g <= max * 1.001);
+    }
+}

@@ -1,0 +1,81 @@
+//! Design-space exploration with the RFP simulator as a library.
+//!
+//! Sweeps the knobs a microarchitect would actually turn — Prefetch Table
+//! size, confidence width, L1 port count, L1 latency — on a small workload
+//! subset, demonstrating how to drive custom studies beyond the paper's
+//! figures.
+//!
+//! ```text
+//! cargo run --release --example design_space [uops]
+//! ```
+
+use rfp::core::{simulate_workload, CoreConfig};
+use rfp::stats::{geomean_speedup, pct, SimReport, TextTable};
+use rfp::trace::Workload;
+
+fn subset() -> Vec<Workload> {
+    // One representative per category keeps the sweep fast.
+    ["spec06_gcc", "spec06_namd", "spec17_mcf", "spec17_roms", "hadoop", "geekbench_int"]
+        .iter()
+        .map(|n| rfp::trace::by_name(n).expect("in suite"))
+        .collect()
+}
+
+fn run(cfg: &CoreConfig, len: u64) -> Vec<SimReport> {
+    subset()
+        .iter()
+        .map(|w| simulate_workload(cfg, w, len).expect("valid"))
+        .collect()
+}
+
+fn main() {
+    let len: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80_000);
+    let base = run(&CoreConfig::tiger_lake(), len);
+
+    let mut t = TextTable::new(&["design point", "RFP speedup", "coverage"]);
+    let mut row = |label: &str, cfg: CoreConfig| {
+        let r = run(&cfg, len);
+        let s = geomean_speedup(&base, &r).unwrap_or(1.0);
+        let cov = r.iter().map(|x| x.coverage()).sum::<f64>() / r.len() as f64;
+        t.row(&[label, &pct(s - 1.0), &pct(cov)]);
+    };
+
+    row("default RFP (1K PT, 1-bit conf)", CoreConfig::tiger_lake().with_rfp());
+
+    for entries in [256usize, 4096] {
+        let mut c = CoreConfig::tiger_lake().with_rfp();
+        if let Some(r) = c.rfp.as_mut() {
+            r.table.entries = entries;
+        }
+        row(&format!("PT {entries} entries"), c);
+    }
+
+    let mut c = CoreConfig::tiger_lake().with_rfp();
+    if let Some(r) = c.rfp.as_mut() {
+        r.table.confidence_bits = 4;
+    }
+    row("4-bit confidence", c);
+
+    let mut c = CoreConfig::tiger_lake().with_rfp();
+    c.ports.dedicated_rfp = 2;
+    row("2 dedicated RFP ports", c);
+
+    let mut c = CoreConfig::tiger_lake().with_rfp();
+    c.mem.l1.latency = 7;
+    let mut b = CoreConfig::tiger_lake();
+    b.mem.l1.latency = 7;
+    let base7 = run(&b, len);
+    let r7 = run(&c, len);
+    let s7 = geomean_speedup(&base7, &r7).unwrap_or(1.0);
+    let cov7 = r7.iter().map(|x| x.coverage()).sum::<f64>() / r7.len() as f64;
+    t.row(&["7-cycle L1 (future?)", &pct(s7 - 1.0), &pct(cov7)]);
+
+    println!(
+        "RFP design-space sweep over a 6-workload subset ({len} uops each):\n\n{}",
+        t.render()
+    );
+    println!("(each speedup is measured against the matching baseline core)");
+}

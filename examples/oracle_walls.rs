@@ -1,0 +1,47 @@
+//! The paper's opening argument: the memory wall is not monolithic.
+//!
+//! Runs a workload under each oracle prefetching mode (level-N hits served
+//! at level-(N−1) latency) and shows that mitigating the *L1* latency wall
+//! offers a headroom comparable to the much-better-studied DRAM wall,
+//! despite L1 latency being 40x lower.
+//!
+//! ```text
+//! cargo run --release --example oracle_walls [uops]
+//! ```
+
+use rfp::core::{simulate_workload, CoreConfig, OracleMode};
+use rfp::stats::{geomean_speedup, pct};
+
+fn main() {
+    let len: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
+    let suite = rfp::trace::suite();
+
+    println!("oracle headroom across the 65-workload suite ({len} uops each):\n");
+    let base: Vec<_> = suite
+        .iter()
+        .map(|w| simulate_workload(&CoreConfig::tiger_lake(), w, len).expect("valid"))
+        .collect();
+
+    for (label, mode, paper) in [
+        ("L1 -> RF  (5 -> 1 cycles)", OracleMode::L1ToRf, "9.0%"),
+        ("L2 -> L1  (14 -> 5)", OracleMode::L2ToL1, "~3%"),
+        ("LLC -> L2 (40 -> 14)", OracleMode::LlcToL2, "~4%"),
+        ("Mem -> LLC (200 -> 40)", OracleMode::MemToLlc, "13.3%"),
+    ] {
+        let cfg = CoreConfig::tiger_lake().with_oracle(mode);
+        let runs: Vec<_> = suite
+            .iter()
+            .map(|w| simulate_workload(&cfg, w, len).expect("valid"))
+            .collect();
+        let s = geomean_speedup(&base, &runs).unwrap_or(1.0);
+        println!("  {label:<26} +{:<7} (paper {paper})", pct(s - 1.0));
+    }
+    println!(
+        "\nThe L1 wall rivals the DRAM wall because ~93% of loads hit the L1:\n\
+         a 5-cycle latency paid nearly every load adds up to a 200-cycle\n\
+         latency paid rarely. That observation motivates RFP."
+    );
+}

@@ -1,0 +1,53 @@
+//! Quickstart: simulate one workload with and without Register File
+//! Prefetching and print what RFP did.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload] [uops]
+//! ```
+
+use rfp::core::{simulate_workload, CoreConfig};
+use rfp::stats::pct;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "spec17_mcf".to_string());
+    let len: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+
+    let Some(workload) = rfp::trace::by_name(&name) else {
+        eprintln!("unknown workload '{name}'. Available:");
+        for w in rfp::trace::suite() {
+            eprintln!("  {} ({})", w.name, w.category.label());
+        }
+        std::process::exit(2);
+    };
+
+    println!("workload: {name} ({} measured uops, equal warmup)\n", len);
+
+    let baseline = simulate_workload(&CoreConfig::tiger_lake(), &workload, len)
+        .expect("built-in config is valid");
+    let rfp = simulate_workload(&CoreConfig::tiger_lake().with_rfp(), &workload, len)
+        .expect("built-in config is valid");
+
+    println!("baseline IPC : {:.3}", baseline.ipc());
+    println!("RFP IPC      : {:.3}", rfp.ipc());
+    println!(
+        "speedup      : {}",
+        pct(rfp.ipc() / baseline.ipc() - 1.0)
+    );
+    println!();
+    println!("prefetches injected : {} of loads", pct(rfp.injected_frac()));
+    println!("prefetches executed : {}", pct(rfp.executed_frac()));
+    println!("prefetches useful   : {} (coverage)", pct(rfp.coverage()));
+    println!("wrong addresses     : {}", pct(rfp.wrong_frac()));
+    println!("latency fully hidden: {}", pct(rfp.fully_hidden_frac()));
+    println!();
+    let dist = baseline.hit_distribution();
+    println!("baseline demand-load hit distribution:");
+    for (label, frac) in ["L1", "MSHR", "L2", "LLC", "DRAM"].iter().zip(dist) {
+        println!("  {label:>4}: {}", pct(frac));
+    }
+}

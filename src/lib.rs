@@ -1,0 +1,34 @@
+//! Facade crate for the Register File Prefetching (ISCA 2022) reproduction.
+//!
+//! Re-exports the workspace crates under short module names so downstream
+//! users depend on one crate:
+//!
+//! * [`trace`] — micro-op model + the 65-workload synthetic suite
+//! * [`mem`] — caches, TLBs, MSHRs, ports, oracle modes
+//! * [`predictors`] — PT/PAT, value/address predictors, store sets, gshare
+//! * [`core`] — the OOO core with the RFP engine
+//! * [`stats`] — counters, reports, formatting
+//! * [`types`] — shared ids and address types
+//!
+//! # Examples
+//!
+//! ```
+//! use rfp::core::{simulate_workload, CoreConfig};
+//!
+//! let w = rfp::trace::by_name("spec06_libquantum").expect("in the suite");
+//! let base = simulate_workload(&CoreConfig::tiger_lake(), &w, 20_000)?;
+//! let with_rfp = simulate_workload(&CoreConfig::tiger_lake().with_rfp(), &w, 20_000)?;
+//! assert!(with_rfp.coverage() > 0.0);
+//! assert!(base.ipc() > 0.0);
+//! # Ok::<(), rfp::types::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rfp_core as core;
+pub use rfp_mem as mem;
+pub use rfp_predictors as predictors;
+pub use rfp_stats as stats;
+pub use rfp_trace as trace;
+pub use rfp_types as types;

@@ -1,0 +1,61 @@
+//! The whole stack is seeded and deterministic: the same configuration and
+//! workload must reproduce bit-identical statistics, across every feature
+//! combination.
+
+use rfp::core::{simulate_workload, CoreConfig, VpMode};
+use rfp::predictors::{DlvpConfig, ValuePredictorConfig};
+
+const LEN: u64 = 10_000;
+
+fn assert_deterministic(cfg: &CoreConfig, name: &str) {
+    let w = rfp::trace::by_name(name).unwrap();
+    let a = simulate_workload(cfg, &w, LEN).unwrap();
+    let b = simulate_workload(cfg, &w, LEN).unwrap();
+    assert_eq!(a.stats, b.stats, "non-deterministic run for {name}");
+}
+
+#[test]
+fn baseline_is_deterministic() {
+    assert_deterministic(&CoreConfig::tiger_lake(), "spec06_mcf");
+}
+
+#[test]
+fn rfp_is_deterministic() {
+    assert_deterministic(&CoreConfig::tiger_lake().with_rfp(), "spec17_gcc");
+}
+
+#[test]
+fn vp_modes_are_deterministic() {
+    let mut c = CoreConfig::tiger_lake();
+    c.vp = VpMode::Eves(ValuePredictorConfig::default());
+    assert_deterministic(&c, "spec17_x264");
+
+    c.vp = VpMode::Composite(ValuePredictorConfig::default(), DlvpConfig::default());
+    assert_deterministic(&c, "spark");
+
+    c.vp = VpMode::Epp(DlvpConfig::default());
+    assert_deterministic(&c, "tpcc");
+}
+
+#[test]
+fn different_seeds_give_different_programs() {
+    let suite = rfp::trace::suite();
+    let a: Vec<_> = suite[0].trace(500).collect();
+    let b: Vec<_> = suite[1].trace(500).collect();
+    assert_ne!(a, b);
+}
+
+#[test]
+fn baseline_2x_is_deterministic_and_faster() {
+    let w = rfp::trace::by_name("spec06_hmmer").unwrap();
+    let small = simulate_workload(&CoreConfig::tiger_lake(), &w, LEN).unwrap();
+    let big_a = simulate_workload(&CoreConfig::baseline_2x(), &w, LEN).unwrap();
+    let big_b = simulate_workload(&CoreConfig::baseline_2x(), &w, LEN).unwrap();
+    assert_eq!(big_a.stats, big_b.stats);
+    assert!(
+        big_a.ipc() >= small.ipc() * 0.99,
+        "a doubled machine should not be slower: {} vs {}",
+        big_a.ipc(),
+        small.ipc()
+    );
+}

@@ -1,0 +1,150 @@
+//! The paper's qualitative results, checked at reduced scale on a workload
+//! subset (the full-scale numbers live in EXPERIMENTS.md and are produced
+//! by the `experiments` binary).
+
+use rfp::core::{simulate_workload, CoreConfig, OracleMode, VpMode};
+use rfp::predictors::ValuePredictorConfig;
+use rfp::stats::{geomean_speedup, SimReport};
+use rfp::trace::Workload;
+
+const LEN: u64 = 25_000;
+
+fn subset() -> Vec<Workload> {
+    [
+        "spec06_gcc",
+        "spec06_libquantum",
+        "spec06_namd",
+        "spec17_mcf",
+        "spec17_xalancbmk",
+        "spec17_roms",
+        "hadoop",
+        "geekbench_int",
+    ]
+    .iter()
+    .map(|n| rfp::trace::by_name(n).expect("in suite"))
+    .collect()
+}
+
+fn run(cfg: &CoreConfig) -> Vec<SimReport> {
+    subset()
+        .iter()
+        .map(|w| simulate_workload(cfg, w, LEN).expect("valid"))
+        .collect()
+}
+
+#[test]
+fn oracle_l1_to_rf_has_substantial_headroom() {
+    let base = run(&CoreConfig::tiger_lake());
+    let oracle = run(&CoreConfig::tiger_lake().with_oracle(OracleMode::L1ToRf));
+    let s = geomean_speedup(&base, &oracle).unwrap();
+    assert!(s > 1.02, "oracle L1->RF speedup {s} should be substantial");
+}
+
+#[test]
+fn rfp_speeds_up_but_less_than_the_oracle() {
+    let base = run(&CoreConfig::tiger_lake());
+    let rfp = run(&CoreConfig::tiger_lake().with_rfp());
+    let oracle = run(&CoreConfig::tiger_lake().with_oracle(OracleMode::L1ToRf));
+    let s_rfp = geomean_speedup(&base, &rfp).unwrap();
+    let s_oracle = geomean_speedup(&base, &oracle).unwrap();
+    assert!(s_rfp > 1.005, "RFP speedup {s_rfp} too small");
+    assert!(
+        s_rfp < s_oracle * 1.01,
+        "RFP ({s_rfp}) cannot beat the oracle ({s_oracle}) by construction"
+    );
+}
+
+#[test]
+fn rfp_coverage_is_substantial_and_wrong_prefetches_are_rare() {
+    let rfp = run(&CoreConfig::tiger_lake().with_rfp());
+    let cov: f64 = rfp.iter().map(|r| r.coverage()).sum::<f64>() / rfp.len() as f64;
+    let wrong: f64 = rfp.iter().map(|r| r.wrong_frac()).sum::<f64>() / rfp.len() as f64;
+    assert!(cov > 0.15, "coverage {cov} too low");
+    assert!(wrong < 0.10, "wrong-prefetch rate {wrong} too high");
+    assert!(wrong < cov, "accuracy must dominate");
+}
+
+#[test]
+fn vp_and_rfp_are_synergistic() {
+    let base = run(&CoreConfig::tiger_lake());
+
+    let mut vp_cfg = CoreConfig::tiger_lake();
+    vp_cfg.vp = VpMode::Eves(ValuePredictorConfig::default());
+    let vp = run(&vp_cfg);
+
+    let rfp = run(&CoreConfig::tiger_lake().with_rfp());
+
+    let mut both_cfg = CoreConfig::tiger_lake().with_rfp();
+    both_cfg.vp = VpMode::Eves(ValuePredictorConfig::default());
+    let both = run(&both_cfg);
+
+    let s_vp = geomean_speedup(&base, &vp).unwrap();
+    let s_rfp = geomean_speedup(&base, &rfp).unwrap();
+    let s_both = geomean_speedup(&base, &both).unwrap();
+    // The paper's Fig. 15: VP+RFP (4.15%) beats standalone VP (2.2%) and
+    // standalone RFP (3.1%).
+    assert!(
+        s_both >= s_vp.max(s_rfp) - 0.005,
+        "fusion {s_both} should be at least the best of VP {s_vp} / RFP {s_rfp}"
+    );
+}
+
+#[test]
+fn dedicated_ports_execute_at_least_as_many_prefetches() {
+    let shared = run(&CoreConfig::tiger_lake().with_rfp());
+    let mut ded_cfg = CoreConfig::tiger_lake().with_rfp();
+    ded_cfg.ports.dedicated_rfp = ded_cfg.ports.load_ports;
+    let dedicated = run(&ded_cfg);
+    let ex = |rs: &[SimReport]| {
+        rs.iter().map(|r| r.executed_frac()).sum::<f64>() / rs.len() as f64
+    };
+    assert!(
+        ex(&dedicated) >= ex(&shared) * 0.98,
+        "dedicated {} vs shared {}",
+        ex(&dedicated),
+        ex(&shared)
+    );
+}
+
+#[test]
+fn fp_bound_workloads_are_insensitive_to_rfp() {
+    // spec17_wrf: high coverage, negligible gain (paper §5.1).
+    let w = rfp::trace::by_name("spec17_wrf").unwrap();
+    let base = simulate_workload(&CoreConfig::tiger_lake(), &w, LEN).unwrap();
+    let r = simulate_workload(&CoreConfig::tiger_lake().with_rfp(), &w, LEN).unwrap();
+    let gain = r.ipc() / base.ipc() - 1.0;
+    assert!(gain.abs() < 0.04, "wrf-like workload gained {gain}");
+    assert!(r.coverage() > 0.2, "wrf-like coverage should be high");
+}
+
+#[test]
+fn wider_confidence_cuts_wrong_prefetches() {
+    let narrow = run(&CoreConfig::tiger_lake().with_rfp());
+    let mut wide_cfg = CoreConfig::tiger_lake().with_rfp();
+    if let Some(r) = wide_cfg.rfp.as_mut() {
+        r.table.confidence_bits = 4;
+    }
+    let wide = run(&wide_cfg);
+    let wrong = |rs: &[SimReport]| rs.iter().map(|r| r.wrong_frac()).sum::<f64>();
+    let cov = |rs: &[SimReport]| rs.iter().map(|r| r.coverage()).sum::<f64>();
+    assert!(wrong(&wide) <= wrong(&narrow) + 1e-9, "accuracy must improve");
+    assert!(cov(&wide) <= cov(&narrow) + 1e-9, "coverage must drop");
+}
+
+#[test]
+fn l1_latency_increase_grows_rfp_value() {
+    let base5 = run(&CoreConfig::tiger_lake());
+    let rfp5 = run(&CoreConfig::tiger_lake().with_rfp());
+    let mut b7 = CoreConfig::tiger_lake();
+    b7.mem.l1.latency = 8;
+    let mut r7cfg = CoreConfig::tiger_lake().with_rfp();
+    r7cfg.mem.l1.latency = 8;
+    let base8 = run(&b7);
+    let rfp8 = run(&r7cfg);
+    let s5 = geomean_speedup(&base5, &rfp5).unwrap();
+    let s8 = geomean_speedup(&base8, &rfp8).unwrap();
+    assert!(
+        s8 > s5 - 0.005,
+        "slower L1 should make RFP more valuable: {s5} vs {s8}"
+    );
+}

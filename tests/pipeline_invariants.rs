@@ -1,0 +1,85 @@
+//! Cross-crate invariants: whatever the workload, the simulated pipeline
+//! must respect conservation and ordering laws.
+
+use rfp::core::{simulate_workload, CoreConfig};
+use rfp::trace::UopKind;
+
+const LEN: u64 = 15_000;
+
+#[test]
+fn retired_counts_match_trace_composition() {
+    // With zero warmup, retired counters must exactly match the trace.
+    let w = rfp::trace::by_name("spec06_gcc").unwrap();
+    let ops: Vec<_> = w.trace(LEN).collect();
+    let loads = ops.iter().filter(|o| o.kind.is_load()).count() as u64;
+    let stores = ops.iter().filter(|o| o.kind.is_store()).count() as u64;
+    let branches = ops.iter().filter(|o| o.kind.is_branch()).count() as u64;
+
+    let stats = rfp::core::simulate(&CoreConfig::tiger_lake(), ops).unwrap();
+    assert_eq!(stats.retired_uops, LEN);
+    assert_eq!(stats.retired_loads, loads);
+    assert_eq!(stats.retired_stores, stores);
+    assert_eq!(stats.retired_branches, branches);
+}
+
+#[test]
+fn ipc_never_exceeds_machine_width() {
+    for name in ["spec06_hmmer", "spec17_x264", "geekbench_int"] {
+        let w = rfp::trace::by_name(name).unwrap();
+        let r = simulate_workload(&CoreConfig::tiger_lake(), &w, LEN).unwrap();
+        assert!(r.ipc() <= 5.0 + 1e-9, "{name}: ipc {}", r.ipc());
+        assert!(r.ipc() > 0.1, "{name}: ipc {}", r.ipc());
+    }
+}
+
+#[test]
+fn rfp_funnel_is_monotonic() {
+    // injected >= executed >= useful; useful >= fully hidden.
+    for name in ["spec17_mcf", "spec06_bzip2", "hadoop"] {
+        let w = rfp::trace::by_name(name).unwrap();
+        let r = simulate_workload(&CoreConfig::tiger_lake().with_rfp(), &w, LEN).unwrap();
+        let s = &r.stats;
+        assert!(s.rfp_injected >= s.rfp_executed, "{name}");
+        assert!(s.rfp_executed >= s.rfp_useful, "{name}");
+        assert!(s.rfp_useful >= s.rfp_fully_hidden, "{name}");
+        assert!(
+            s.rfp_executed >= s.rfp_wrong_addr,
+            "{name}: wrong prefetches must have executed"
+        );
+    }
+}
+
+#[test]
+fn hit_distribution_sums_to_one() {
+    let w = rfp::trace::by_name("spec17_omnetpp").unwrap();
+    let r = simulate_workload(&CoreConfig::tiger_lake(), &w, LEN).unwrap();
+    let sum: f64 = r.hit_distribution().iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn rfp_does_not_slow_the_baseline_down_materially() {
+    // The paper stresses that demand loads keep priority; RFP prefetches
+    // must never meaningfully hurt (Fig. 11's left edge sits near zero).
+    for name in ["spec06_tonto", "spec06_gamess", "spec17_wrf"] {
+        let w = rfp::trace::by_name(name).unwrap();
+        let base = simulate_workload(&CoreConfig::tiger_lake(), &w, LEN).unwrap();
+        let r = simulate_workload(&CoreConfig::tiger_lake().with_rfp(), &w, LEN).unwrap();
+        assert!(
+            r.ipc() >= base.ipc() * 0.97,
+            "{name}: rfp {} vs base {}",
+            r.ipc(),
+            base.ipc()
+        );
+    }
+}
+
+#[test]
+fn every_uop_kind_flows_through_the_pipeline() {
+    let w = rfp::trace::by_name("spec17_cam4").unwrap();
+    let ops: Vec<_> = w.trace(LEN).collect();
+    assert!(ops.iter().any(|o| matches!(o.kind, UopKind::Fp { .. })));
+    assert!(ops.iter().any(|o| matches!(o.kind, UopKind::Alu { .. })));
+    let stats = rfp::core::simulate(&CoreConfig::tiger_lake(), ops).unwrap();
+    assert_eq!(stats.retired_uops, LEN);
+}

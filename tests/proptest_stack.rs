@@ -1,0 +1,106 @@
+//! Property-based tests across the whole stack: arbitrary (valid)
+//! generator parameters must always produce traces the core can retire
+//! completely, with all invariants intact.
+
+use proptest::prelude::*;
+use rfp::core::{simulate, CoreConfig};
+use rfp::trace::{AddrMix, GenParams, Program, TraceGen, ValueMix, WorkingSetMix};
+
+fn arb_params() -> impl Strategy<Value = GenParams> {
+    (
+        2usize..8,            // blocks
+        4usize..16,           // block_min
+        0usize..12,           // block extra
+        0.05f64..0.35,        // load_frac
+        0.02f64..0.2,         // store_frac
+        0.0f64..0.5,          // fp_frac
+        0.0f64..0.6,          // early_addr
+        0.0f64..0.08,         // mispredict
+        proptest::bool::ANY,  // fp_chain
+        0.0f64..1.0,          // spine_frac
+        0.0f64..0.7,          // addr_from_spine
+    )
+        .prop_map(
+            |(blocks, bmin, bextra, lf, sf, fp, early, mr, chain, spine, afs)| GenParams {
+                blocks,
+                block_min: bmin,
+                block_max: bmin + bextra,
+                load_frac: lf,
+                store_frac: sf,
+                fp_frac: fp,
+                addr_mix: AddrMix {
+                    stride: 0.4,
+                    pattern2d: 0.1,
+                    constant: 0.1,
+                    chase: 0.2,
+                    gather: 0.2,
+                },
+                value_mix: ValueMix {
+                    constant: 0.2,
+                    stride: 0.1,
+                    random: 0.7,
+                },
+                ws_mix: WorkingSetMix {
+                    l1: 0.9,
+                    l2: 0.05,
+                    llc: 0.03,
+                    dram: 0.02,
+                },
+                early_addr_frac: early,
+                chain_bias: 0.5,
+                load_consumer_frac: 0.6,
+                mispredict_rate: mr,
+                fp_chain: chain,
+                store_alias_frac: 0.05,
+                spine_frac: spine,
+                addr_from_spine: afs,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_valid_program_retires_completely(params in arb_params(), seed in 0u64..1_000_000) {
+        let program = Program::synthesize(&params, seed).unwrap();
+        let trace = TraceGen::new(program, seed, 4_000);
+        let stats = simulate(&CoreConfig::tiger_lake(), trace).unwrap();
+        prop_assert_eq!(stats.retired_uops, 4_000);
+        prop_assert!(stats.cycles > 0);
+        // Conservation: all loads were served somewhere or forwarded.
+        let served: u64 = stats.load_hit_levels.iter().sum::<u64>() + stats.load_forwarded;
+        prop_assert!(served >= stats.retired_loads,
+            "loads {} > served {}", stats.retired_loads, served);
+    }
+
+    #[test]
+    fn rfp_funnel_invariants_hold_for_any_program(params in arb_params(), seed in 0u64..1_000_000) {
+        let program = Program::synthesize(&params, seed).unwrap();
+        let trace = TraceGen::new(program, seed, 4_000);
+        let stats = simulate(&CoreConfig::tiger_lake().with_rfp(), trace).unwrap();
+        prop_assert_eq!(stats.retired_uops, 4_000);
+        prop_assert!(stats.rfp_executed <= stats.rfp_injected);
+        prop_assert!(stats.rfp_useful <= stats.rfp_executed);
+        prop_assert!(stats.rfp_fully_hidden <= stats.rfp_useful);
+        prop_assert!(stats.rfp_useful <= stats.retired_loads);
+    }
+
+    #[test]
+    fn traces_are_exact_length_and_in_bounds(params in arb_params(), seed in 0u64..1_000_000) {
+        let program = Program::synthesize(&params, seed).unwrap();
+        let max_end = program
+            .patterns
+            .iter()
+            .map(|p| p.base.raw() + p.region_bytes)
+            .max()
+            .unwrap_or(0);
+        let ops: Vec<_> = TraceGen::new(program, seed, 2_000).collect();
+        prop_assert_eq!(ops.len(), 2_000);
+        for op in &ops {
+            if let Some(m) = op.mem {
+                prop_assert!(m.addr.raw() < max_end, "address out of bounds");
+            }
+        }
+    }
+}

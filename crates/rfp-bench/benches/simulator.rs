@@ -1,10 +1,17 @@
 //! End-to-end simulator throughput under each of the paper's feature
 //! configurations (baseline, RFP, value prediction, oracle) — one bench
 //! per headline experiment family, so `cargo bench` exercises every
-//! table/figure code path.
+//! table/figure code path — plus the engine benches: the calendar queue
+//! against the old `BinaryHeap` event queue, and end-to-end uops/sec
+//! through the work-stealing grid, written to `BENCH_engine.json`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rfp_core::{simulate_workload, CoreConfig, OracleMode, VpMode};
+use rfp_bench::{default_threads, run_grid};
+use rfp_core::{simulate_workload, CalendarQueue, CoreConfig, OracleMode, VpMode};
 use rfp_predictors::{DlvpConfig, ValuePredictorConfig};
 
 const LEN: u64 = 8_000;
@@ -17,7 +24,10 @@ fn configs() -> Vec<(&'static str, CoreConfig)> {
     vec![
         ("baseline_fig2", CoreConfig::tiger_lake()),
         ("rfp_fig10", CoreConfig::tiger_lake().with_rfp()),
-        ("oracle_l1_fig1", CoreConfig::tiger_lake().with_oracle(OracleMode::L1ToRf)),
+        (
+            "oracle_l1_fig1",
+            CoreConfig::tiger_lake().with_oracle(OracleMode::L1ToRf),
+        ),
         ("baseline2x_fig12", CoreConfig::baseline_2x()),
         ("composite_vp_fig15", composite),
         ("vp_plus_rfp_fig15", fused),
@@ -55,5 +65,123 @@ fn bench_sensitivity_kernels(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_simulation, bench_sensitivity_kernels);
+/// Synthetic event stream shaped like the simulator's: mostly near-future
+/// wakeups (1–8 cycles out), occasional far DRAM fills. Returns a
+/// checksum so the work can't be optimised away.
+fn drive_calendar(ops: u64) -> u64 {
+    let mut q: CalendarQueue<u64> = CalendarQueue::new();
+    let mut sum = 0u64;
+    let mut now = 0u64;
+    for i in 0..ops {
+        let delta = if i % 97 == 0 { 300 } else { 1 + (i % 8) };
+        q.push(now + delta, i);
+        if i % 2 == 0 {
+            now += 1;
+            while let Some((_, v)) = q.pop_due(now) {
+                sum = sum.wrapping_add(v);
+            }
+        }
+    }
+    while !q.is_empty() {
+        now += 1;
+        while let Some((_, v)) = q.pop_due(now) {
+            sum = sum.wrapping_add(v);
+        }
+    }
+    sum
+}
+
+/// The pre-calendar event queue: a min-`BinaryHeap` with an insertion
+/// counter for FIFO tie-breaks — kept here as the bench reference.
+fn drive_heap(ops: u64) -> u64 {
+    let mut q: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+    let mut sum = 0u64;
+    let mut now = 0u64;
+    for i in 0..ops {
+        let delta = if i % 97 == 0 { 300 } else { 1 + (i % 8) };
+        // `i` doubles as the FIFO insertion counter (it's monotone).
+        q.push(Reverse((now + delta, i, i)));
+        if i % 2 == 0 {
+            now += 1;
+            while let Some(&Reverse((at, _, v))) = q.peek() {
+                if at > now {
+                    break;
+                }
+                q.pop();
+                sum = sum.wrapping_add(v);
+            }
+        }
+    }
+    while let Some(Reverse((_, _, v))) = q.pop() {
+        sum = sum.wrapping_add(v);
+    }
+    sum
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    assert_eq!(drive_calendar(10_000), drive_heap(10_000));
+    let mut g = c.benchmark_group("event_queue_20k_events");
+    g.bench_function("binary_heap", |b| b.iter(|| black_box(drive_heap(20_000))));
+    g.bench_function("calendar_queue", |b| {
+        b.iter(|| black_box(drive_calendar(20_000)))
+    });
+    g.finish();
+}
+
+fn time_ns(f: impl Fn() -> u64) -> (f64, u64) {
+    let t0 = Instant::now();
+    let sum = f();
+    (t0.elapsed().as_nanos() as f64, sum)
+}
+
+/// One-shot engine measurements written to `BENCH_engine.json` at the
+/// workspace root: event-queue ns/op for both implementations and
+/// end-to-end uops/sec through the work-stealing grid at 1 thread vs
+/// the machine's parallelism.
+fn bench_engine_json(_c: &mut Criterion) {
+    const OPS: u64 = 200_000;
+    let (heap_ns, a) = time_ns(|| drive_heap(OPS));
+    let (cal_ns, b) = time_ns(|| drive_calendar(OPS));
+    assert_eq!(a, b);
+
+    let grid_len = 4_000;
+    let cfg = [CoreConfig::tiger_lake().with_rfp()];
+    let uops_of = |rows: &[Vec<rfp_stats::SimReport>]| -> u64 {
+        rows.iter()
+            .flatten()
+            .map(|r| r.stats.total_retired_uops)
+            .sum()
+    };
+    let threads = default_threads();
+    let t0 = Instant::now();
+    let serial = run_grid(&cfg, grid_len, 1);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let parallel = run_grid(&cfg, grid_len, threads);
+    let parallel_secs = t1.elapsed().as_secs_f64();
+    let uops = uops_of(&serial);
+    assert_eq!(uops, uops_of(&parallel));
+
+    let json = format!(
+        "{{\n  \"event_queue\": {{\n    \"ops\": {OPS},\n    \"binary_heap_ns_per_op\": {:.2},\n    \"calendar_ns_per_op\": {:.2},\n    \"speedup\": {:.3}\n  }},\n  \"engine\": {{\n    \"workloads\": {},\n    \"measured_uops\": {uops},\n    \"threads\": {threads},\n    \"serial_uops_per_sec\": {:.0},\n    \"parallel_uops_per_sec\": {:.0},\n    \"parallel_speedup\": {:.3}\n  }}\n}}\n",
+        heap_ns / OPS as f64,
+        cal_ns / OPS as f64,
+        heap_ns / cal_ns,
+        serial.first().map_or(0, Vec::len),
+        uops as f64 / serial_secs,
+        uops as f64 / parallel_secs,
+        serial_secs / parallel_secs,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    println!("wrote {path}:\n{json}");
+}
+
+criterion_group!(
+    benches,
+    bench_simulation,
+    bench_sensitivity_kernels,
+    bench_event_queue,
+    bench_engine_json
+);
 criterion_main!(benches);

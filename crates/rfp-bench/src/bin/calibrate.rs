@@ -3,35 +3,88 @@
 //! the core model drifted the reproduction.
 //!
 //! ```text
-//! cargo run --release -p rfp-bench --bin calibrate [len]
+//! cargo run --release -p rfp-bench --bin calibrate [len] [--threads N]
 //! ```
 
-use rfp_bench::run_suite;
+use rfp_bench::{default_threads, run_grid};
 use rfp_core::{CoreConfig, OracleMode};
 use rfp_stats::{geomean_speedup, mean_frac};
 
 fn main() {
-    let len: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100_000);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = default_threads();
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        if i + 1 >= args.len() {
+            eprintln!("--threads needs a value");
+            std::process::exit(2);
+        }
+        match args[i + 1].parse::<usize>() {
+            Ok(n) if n >= 1 => threads = n,
+            _ => {
+                eprintln!("--threads needs a positive integer, got {}", args[i + 1]);
+                std::process::exit(2);
+            }
+        }
+        args.drain(i..=i + 1);
+    }
+    let len: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(100_000);
     let t0 = std::time::Instant::now();
-    let base = run_suite(&CoreConfig::tiger_lake(), len);
-    let rfp = run_suite(&CoreConfig::tiger_lake().with_rfp(), len);
-    let o_l1 = run_suite(&CoreConfig::tiger_lake().with_oracle(OracleMode::L1ToRf), len);
-    let o_mem = run_suite(&CoreConfig::tiger_lake().with_oracle(OracleMode::MemToLlc), len);
-    eprintln!("4 configs x 65 workloads in {:.1}s", t0.elapsed().as_secs_f32());
+    // All four configurations go into one work-stealing grid so the
+    // slowest (oracle) rows don't serialise behind the cheap baseline.
+    let configs = [
+        CoreConfig::tiger_lake(),
+        CoreConfig::tiger_lake().with_rfp(),
+        CoreConfig::tiger_lake().with_oracle(OracleMode::L1ToRf),
+        CoreConfig::tiger_lake().with_oracle(OracleMode::MemToLlc),
+    ];
+    let mut rows = run_grid(&configs, len, threads).into_iter();
+    let (base, rfp, o_l1, o_mem) = (
+        rows.next().expect("base row"),
+        rows.next().expect("rfp row"),
+        rows.next().expect("oracle L1 row"),
+        rows.next().expect("oracle mem row"),
+    );
+    eprintln!(
+        "4 configs x {} workloads on {} thread(s) in {:.1}s",
+        base.len(),
+        threads,
+        t0.elapsed().as_secs_f32()
+    );
 
     let gs = |n: &[rfp_stats::SimReport]| geomean_speedup(&base, n).unwrap_or(1.0);
-    println!("mean L1 hit      = {:.3} (paper 0.928)", mean_frac(&base, |r| r.l1_hit_frac()));
-    println!("mean ready@alloc = {:.3} (paper 0.37)", mean_frac(&base, |r| r.ready_at_alloc_frac()));
-    println!("mean base IPC    = {:.3}", base.iter().map(|r| r.ipc()).sum::<f64>() / base.len() as f64);
+    println!(
+        "mean L1 hit      = {:.3} (paper 0.928)",
+        mean_frac(&base, |r| r.l1_hit_frac())
+    );
+    println!(
+        "mean ready@alloc = {:.3} (paper 0.37)",
+        mean_frac(&base, |r| r.ready_at_alloc_frac())
+    );
+    println!(
+        "mean base IPC    = {:.3}",
+        base.iter().map(|r| r.ipc()).sum::<f64>() / base.len() as f64
+    );
     println!("oracle L1->RF    = {:.4} (paper 1.090)", gs(&o_l1));
     println!("oracle Mem->LLC  = {:.4} (paper 1.133)", gs(&o_mem));
     println!("RFP speedup      = {:.4} (paper 1.031)", gs(&rfp));
-    println!("RFP injected     = {:.3} (paper 0.72)", mean_frac(&rfp, |r| r.injected_frac()));
-    println!("RFP executed     = {:.3} (paper 0.48)", mean_frac(&rfp, |r| r.executed_frac()));
-    println!("RFP coverage     = {:.3} (paper 0.434)", mean_frac(&rfp, |r| r.coverage()));
-    println!("RFP wrong        = {:.3} (paper 0.05)", mean_frac(&rfp, |r| r.wrong_frac()));
-    println!("RFP fully hidden = {:.3} (paper 0.342)", mean_frac(&rfp, |r| r.fully_hidden_frac()));
+    println!(
+        "RFP injected     = {:.3} (paper 0.72)",
+        mean_frac(&rfp, |r| r.injected_frac())
+    );
+    println!(
+        "RFP executed     = {:.3} (paper 0.48)",
+        mean_frac(&rfp, |r| r.executed_frac())
+    );
+    println!(
+        "RFP coverage     = {:.3} (paper 0.434)",
+        mean_frac(&rfp, |r| r.coverage())
+    );
+    println!(
+        "RFP wrong        = {:.3} (paper 0.05)",
+        mean_frac(&rfp, |r| r.wrong_frac())
+    );
+    println!(
+        "RFP fully hidden = {:.3} (paper 0.342)",
+        mean_frac(&rfp, |r| r.fully_hidden_frac())
+    );
 }

@@ -1,20 +1,38 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! cargo run --release -p rfp-bench --bin experiments -- <id>... | all
+//! cargo run --release -p rfp-bench --bin experiments -- [--threads N] <id>... | all
 //! ```
 //!
 //! Ids: fig1 fig2 tab1 tab2 fig10 fig11 fig12 fig13 fig14 s522 fig15 fig16
-//! fig17 fig18 s552 s553 s554 s555, or `all`. Set `RFP_TRACE_LEN` to change
-//! the measured micro-ops per workload (default 120000).
+//! fig17 fig18 s552 s553 s554 s555 ext1 ext2, or `all`. Set `RFP_TRACE_LEN` to change
+//! the measured micro-ops per workload (default 120000). `--threads N`
+//! (or `RFP_THREADS`) sizes the work-stealing pool; the default is the
+//! machine's available parallelism. Output is byte-identical at any
+//! thread count.
 
-use rfp_bench::{Harness, DEFAULT_TRACE_LEN};
+use rfp_bench::{default_threads, Harness, DEFAULT_TRACE_LEN};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = default_threads();
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        if i + 1 >= args.len() {
+            eprintln!("--threads needs a value");
+            std::process::exit(2);
+        }
+        match args[i + 1].parse::<usize>() {
+            Ok(n) if n >= 1 => threads = n,
+            _ => {
+                eprintln!("--threads needs a positive integer, got {}", args[i + 1]);
+                std::process::exit(2);
+            }
+        }
+        args.drain(i..=i + 1);
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: experiments <id>... | all\n  ids: {}\n  env: RFP_TRACE_LEN=<uops> (default {DEFAULT_TRACE_LEN})",
+            "usage: experiments [--threads N] <id>... | all\n  ids: {}\n  env: RFP_TRACE_LEN=<uops> (default {DEFAULT_TRACE_LEN}), RFP_THREADS=<n>",
             Harness::ALL_IDS.join(" ")
         );
         std::process::exit(if args.is_empty() { 2 } else { 0 });
@@ -38,8 +56,12 @@ fn main() {
         ids
     };
 
-    let mut h = Harness::new(len);
+    let mut h = Harness::with_threads(len, threads);
     let t0 = std::time::Instant::now();
+    // Fill the cache with every config the requested experiments need in
+    // one work-stealing grid, so the whole machine stays busy instead of
+    // parallelising one experiment at a time.
+    h.prefetch(&ids);
     for (i, id) in ids.iter().enumerate() {
         if i > 0 {
             println!("{}", "=".repeat(78));
@@ -47,10 +69,17 @@ fn main() {
         println!("[{id}]");
         println!("{}", h.run(id));
     }
+    let (uops, sim_secs) = h.simulated_totals();
+    let wall = t0.elapsed().as_secs_f64();
     eprintln!(
-        "ran {} experiment(s) at {} uops/workload in {:.1}s",
+        "ran {} experiment(s) at {} uops/workload on {} thread(s) in {:.1}s \
+         ({:.1}M retired uops, {:.2}M uops/s wall, {:.1}x core-parallelism)",
         ids.len(),
         len,
-        t0.elapsed().as_secs_f32()
+        threads,
+        wall,
+        uops as f64 / 1e6,
+        uops as f64 / wall / 1e6,
+        if wall > 0.0 { sim_secs / wall } else { 0.0 },
     );
 }

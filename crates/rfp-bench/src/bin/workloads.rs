@@ -42,7 +42,8 @@ fn describe(w: &Workload) {
     );
     let mut by: std::collections::BTreeMap<(&str, &str), usize> = Default::default();
     for p in &prog.patterns {
-        *by.entry((ws_label(p.ws), pattern_label(&p.addr))).or_default() += 1;
+        *by.entry((ws_label(p.ws), pattern_label(&p.addr)))
+            .or_default() += 1;
     }
     for ((ws, pat), n) in by {
         println!("  {n:>3} x {ws:>4} {pat}");
@@ -50,8 +51,14 @@ fn describe(w: &Workload) {
 }
 
 fn main() {
-    if let Some(name) = std::env::args().nth(1) {
-        match rfp_trace::by_name(&name) {
+    // Accept `--threads N` for CLI symmetry with the other bins; this
+    // tool only prints static suite metadata, so it's a documented no-op.
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        args.drain(i..(i + 2).min(args.len()));
+    }
+    if let Some(name) = args.first() {
+        match rfp_trace::by_name(name) {
             Some(w) => describe(&w),
             None => {
                 eprintln!("unknown workload '{name}'");
@@ -61,7 +68,13 @@ fn main() {
         return;
     }
     let mut t = TextTable::new(&[
-        "workload", "category", "static uops", "loads", "stores", "patterns", "mispredict rate",
+        "workload",
+        "category",
+        "static uops",
+        "loads",
+        "stores",
+        "patterns",
+        "mispredict rate",
     ]);
     for w in rfp_trace::suite() {
         let prog = w.program();

@@ -1,0 +1,175 @@
+//! Work-stealing parallel experiment engine.
+//!
+//! Every experiment ultimately needs the same thing: the full workload
+//! suite simulated under one or more [`CoreConfig`]s. The engine
+//! flattens all `(config, workload)` pairs into one global job grid and
+//! lets a pool of scoped threads *steal* jobs off a shared atomic index —
+//! so a long-running workload never leaves the rest of a static chunk's
+//! cores idle, and multiple configurations fill the machine together
+//! instead of running one after another.
+//!
+//! Results are reduced into per-job slots indexed by grid position, so
+//! the output order is identical no matter how many threads ran or how
+//! the jobs interleaved. Each simulation is seeded and single-threaded,
+//! which makes the whole grid bit-deterministic (see
+//! `tests/parallel_determinism.rs`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rfp_core::{simulate_workload, CoreConfig};
+use rfp_stats::SimReport;
+
+/// Worker-thread count to use when the caller doesn't override it:
+/// the `RFP_THREADS` environment variable if set, otherwise the
+/// machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("RFP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Content hash of a configuration (FNV-1a over its `Debug` rendering).
+///
+/// Two configs that would simulate identically hash identically, so a
+/// cache keyed by this value dedupes the same configuration reached via
+/// different experiments — `fig10`'s RFP run and `fig13`'s are one run.
+///
+/// # Examples
+///
+/// ```
+/// use rfp_bench::config_key;
+/// use rfp_core::CoreConfig;
+///
+/// let a = config_key(&CoreConfig::tiger_lake());
+/// assert_eq!(a, config_key(&CoreConfig::tiger_lake()));
+/// assert_ne!(a, config_key(&CoreConfig::tiger_lake().with_rfp()));
+/// ```
+pub fn config_key(cfg: &CoreConfig) -> u64 {
+    let repr = format!("{cfg:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in repr.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Simulates the whole workload suite under every config in `configs`
+/// on `threads` work-stealing workers, returning one suite-ordered
+/// report vector per config (in `configs` order).
+///
+/// The job grid is `(config, workload)` pairs; a shared atomic index
+/// hands the next job to whichever worker frees up first. Output is
+/// deterministic and thread-count-independent: jobs land in slots keyed
+/// by grid position and each simulation is internally seeded.
+///
+/// # Panics
+///
+/// Panics if a config is invalid or a worker thread panics.
+pub fn run_grid(configs: &[CoreConfig], len: u64, threads: usize) -> Vec<Vec<SimReport>> {
+    let suite = rfp_trace::suite();
+    let n_workloads = suite.len();
+    let n_jobs = configs.len() * n_workloads;
+    if n_jobs == 0 {
+        return configs.iter().map(|_| Vec::new()).collect();
+    }
+    let threads = threads.clamp(1, n_jobs);
+    let next = AtomicUsize::new(0);
+
+    let per_worker: Vec<Vec<(usize, SimReport)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let suite = &suite;
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let job = next.fetch_add(1, Ordering::Relaxed);
+                        if job >= n_jobs {
+                            break;
+                        }
+                        let (ci, wi) = (job / n_workloads, job % n_workloads);
+                        let report =
+                            simulate_workload(&configs[ci], &suite[wi], len).expect("valid config");
+                        done.push((job, report));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    // Order-stable reduction: each job index is produced exactly once.
+    let mut slots: Vec<Option<SimReport>> = vec![None; n_jobs];
+    for (job, report) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[job].is_none(), "job {job} produced twice");
+        slots[job] = Some(report);
+    }
+    let mut slots = slots.into_iter();
+    configs
+        .iter()
+        .map(|_| {
+            (&mut slots)
+                .take(n_workloads)
+                .map(|r| r.expect("every job ran"))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_key_is_content_based() {
+        let a = CoreConfig::tiger_lake();
+        let b = CoreConfig::tiger_lake();
+        assert_eq!(config_key(&a), config_key(&b));
+        let mut c = CoreConfig::tiger_lake();
+        c.rob_entries += 1;
+        assert_ne!(config_key(&a), config_key(&c));
+    }
+
+    #[test]
+    fn empty_grid_returns_empty_per_config() {
+        let out = run_grid(&[], 1_000, 4);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn grid_rows_follow_config_order() {
+        let configs = [
+            CoreConfig::tiger_lake(),
+            CoreConfig::tiger_lake().with_rfp(),
+        ];
+        let out = run_grid(&configs, 400, 3);
+        assert_eq!(out.len(), 2);
+        let suite = rfp_trace::suite();
+        for row in &out {
+            assert_eq!(row.len(), suite.len());
+            for (r, w) in row.iter().zip(&suite) {
+                assert_eq!(r.workload, w.name);
+            }
+        }
+        // The RFP row must actually have run the RFP config.
+        assert!(out[1].iter().any(|r| r.stats.rfp_injected > 0));
+        assert!(out[0].iter().all(|r| r.stats.rfp_injected == 0));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

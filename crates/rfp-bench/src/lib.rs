@@ -18,75 +18,73 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+mod engine;
 
-use rfp_core::{simulate_workload, CoreConfig, OracleMode, VpMode};
+use std::collections::{HashMap, HashSet};
+
+use rfp_core::{CoreConfig, OracleMode, VpMode};
 use rfp_predictors::{storage_table, DlvpConfig, PrefetchTableConfig, ValuePredictorConfig};
 use rfp_stats::{geomean_speedup, mean_frac, pct, SimReport, TextTable};
-use rfp_trace::{Category, Workload};
+use rfp_trace::Category;
+
+pub use engine::{config_key, default_threads, run_grid};
 
 /// Default measured trace length per workload (after an equal warmup).
 pub const DEFAULT_TRACE_LEN: u64 = 120_000;
 
-/// Runs the whole suite under `cfg`, one workload per thread (bounded by
-/// the machine's parallelism).
+/// Runs the whole suite under `cfg` on the default worker count
+/// (see [`default_threads`]).
 ///
 /// # Panics
 ///
 /// Panics if `cfg` is invalid or a worker thread panics.
 pub fn run_suite(cfg: &CoreConfig, len: u64) -> Vec<SimReport> {
-    let suite = rfp_trace::suite();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(suite.len());
-    let chunk = suite.len().div_ceil(threads);
-    let mut out: Vec<Option<SimReport>> = vec![None; suite.len()];
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (ci, ws) in suite.chunks(chunk).enumerate() {
-            let cfg = cfg.clone();
-            handles.push((
-                ci,
-                s.spawn(move || {
-                    ws.iter()
-                        .map(|w: &Workload| {
-                            simulate_workload(&cfg, w, len).expect("valid config")
-                        })
-                        .collect::<Vec<_>>()
-                }),
-            ));
-        }
-        for (ci, h) in handles {
-            for (j, r) in h.join().expect("worker panicked").into_iter().enumerate() {
-                out[ci * chunk + j] = Some(r);
-            }
-        }
-    });
-    out.into_iter().map(|r| r.expect("filled")).collect()
+    run_suite_with_threads(cfg, len, default_threads())
 }
 
-/// The experiment harness: caches per-configuration suite runs so `all`
-/// does not repeat the baseline dozens of times.
+/// Runs the whole suite under `cfg` on exactly `threads` work-stealing
+/// workers. The result is byte-identical at every thread count.
+///
+/// # Panics
+///
+/// Panics if `cfg` is invalid or a worker thread panics.
+pub fn run_suite_with_threads(cfg: &CoreConfig, len: u64, threads: usize) -> Vec<SimReport> {
+    run_grid(std::slice::from_ref(cfg), len, threads)
+        .pop()
+        .expect("one config in, one row out")
+}
+
+/// The experiment harness: caches suite runs keyed by configuration
+/// *content* ([`config_key`]), so the same config reached through
+/// different experiments — or `all` — is simulated exactly once.
 pub struct Harness {
     len: u64,
-    cache: HashMap<String, Vec<SimReport>>,
+    threads: usize,
+    cache: HashMap<u64, Vec<SimReport>>,
 }
 
 impl std::fmt::Debug for Harness {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Harness")
             .field("len", &self.len)
+            .field("threads", &self.threads)
             .field("cached_runs", &self.cache.len())
             .finish()
     }
 }
 
 impl Harness {
-    /// Creates a harness measuring `len` micro-ops per workload.
+    /// Creates a harness measuring `len` micro-ops per workload, using
+    /// the default worker count.
     pub fn new(len: u64) -> Self {
+        Self::with_threads(len, default_threads())
+    }
+
+    /// Creates a harness with an explicit worker-thread count.
+    pub fn with_threads(len: u64, threads: usize) -> Self {
         Harness {
             len,
+            threads: threads.max(1),
             cache: HashMap::new(),
         }
     }
@@ -129,16 +127,160 @@ impl Harness {
         }
     }
 
-    fn suite_for(&mut self, key: &str, cfg: &CoreConfig) -> &[SimReport] {
-        if !self.cache.contains_key(key) {
-            let reports = run_suite(cfg, self.len);
-            self.cache.insert(key.to_string(), reports);
+    /// Runs every configuration the listed experiments will need —
+    /// minus whatever is already cached — as **one** work-stealing grid,
+    /// so the whole machine stays busy across configuration boundaries
+    /// instead of draining between suites.
+    ///
+    /// Purely an optimization: [`Self::plan`] may drift from what an
+    /// experiment actually runs, in which case the content-keyed cache
+    /// simply misses and the experiment fills it itself.
+    pub fn prefetch(&mut self, ids: &[&str]) {
+        let mut seen: HashSet<u64> = HashSet::new();
+        let pending: Vec<CoreConfig> = ids
+            .iter()
+            .flat_map(|id| Self::plan(id))
+            .filter(|cfg| {
+                let key = config_key(cfg);
+                !self.cache.contains_key(&key) && seen.insert(key)
+            })
+            .collect();
+        if pending.is_empty() {
+            return;
         }
-        &self.cache[key]
+        let results = run_grid(&pending, self.len, self.threads);
+        for (cfg, reports) in pending.iter().zip(results) {
+            self.cache.insert(config_key(cfg), reports);
+        }
+    }
+
+    /// The configurations experiment `id` needs (empty for static
+    /// experiments and unknown ids). Kept alongside the experiment
+    /// methods; used by [`Self::prefetch`] to batch work up front.
+    pub fn plan(id: &str) -> Vec<CoreConfig> {
+        let base = CoreConfig::tiger_lake;
+        let rfp = || CoreConfig::tiger_lake().with_rfp();
+        let rfp_with = |f: &dyn Fn(&mut rfp_core::RfpConfig)| {
+            let mut c = rfp();
+            if let Some(r) = c.rfp.as_mut() {
+                f(r);
+            }
+            c
+        };
+        match id {
+            "fig1" => vec![
+                base(),
+                base().with_oracle(OracleMode::L1ToRf),
+                base().with_oracle(OracleMode::L2ToL1),
+                base().with_oracle(OracleMode::LlcToL2),
+                base().with_oracle(OracleMode::MemToLlc),
+            ],
+            "fig2" => vec![base()],
+            "fig10" | "fig11" => vec![base(), rfp()],
+            "fig12" => vec![
+                base(),
+                rfp(),
+                CoreConfig::baseline_2x(),
+                CoreConfig::baseline_2x().with_rfp(),
+            ],
+            "fig13" | "s522" => vec![rfp()],
+            "fig14" => {
+                let mut dedicated = rfp();
+                dedicated.ports.dedicated_rfp = dedicated.ports.load_ports;
+                vec![base(), rfp(), dedicated]
+            }
+            "fig15" => {
+                let mut comp = base();
+                comp.vp = VpMode::Composite(ValuePredictorConfig::default(), DlvpConfig::default());
+                let mut epp = base();
+                epp.vp = VpMode::Epp(DlvpConfig::default());
+                let mut fused = rfp();
+                fused.vp = VpMode::Eves(ValuePredictorConfig::default());
+                vec![base(), comp, epp, rfp(), fused]
+            }
+            "fig16" => {
+                let mut dl = base();
+                dl.vp = VpMode::Dlvp(DlvpConfig::default());
+                vec![dl]
+            }
+            "fig17" => {
+                let mut out = vec![base()];
+                for bits in [1u8, 2, 3, 4] {
+                    out.push(rfp_with(&|r| r.table.confidence_bits = bits));
+                }
+                out
+            }
+            "fig18" => {
+                let mut out = vec![base()];
+                for entries in [1024usize, 2048, 4096, 8192, 16384] {
+                    out.push(rfp_with(&|r| r.table.entries = entries));
+                }
+                out
+            }
+            "s552" => {
+                let mut base6 = base();
+                base6.mem.l1.latency = 6;
+                let mut rfp6 = rfp();
+                rfp6.mem.l1.latency = 6;
+                vec![base(), rfp(), base6, rfp6]
+            }
+            "s553" => vec![base(), rfp(), rfp_with(&|r| r.use_context = true)],
+            "s554" => vec![base(), rfp(), rfp_with(&|r| r.table.use_pat = false)],
+            "s555" => vec![
+                base(),
+                rfp(),
+                rfp_with(&|r| r.drop_on_tlb_miss = false),
+                rfp_with(&|r| r.continue_on_l1_miss = false),
+            ],
+            "ext1" => vec![
+                base(),
+                rfp(),
+                rfp_with(&|r| r.critical_only = true),
+                rfp_with(&|r| r.table.entries = 128),
+                rfp_with(&|r| {
+                    r.critical_only = true;
+                    r.table.entries = 128;
+                }),
+            ],
+            "ext2" => {
+                let mut gbase = base();
+                gbase.branch_mode = rfp_core::BranchMode::Gshare;
+                let mut grfp = rfp();
+                grfp.branch_mode = rfp_core::BranchMode::Gshare;
+                vec![base(), rfp(), gbase, grfp]
+            }
+            _ => Vec::new(), // tab1/tab2 are static; unknown ids fail later
+        }
+    }
+
+    /// Total micro-ops simulated across all cached runs (warmup
+    /// included) and the host wall-clock seconds those simulations took,
+    /// summed per run (CPU-seconds when runs were parallel).
+    pub fn simulated_totals(&self) -> (u64, f64) {
+        let mut uops = 0u64;
+        let mut secs = 0f64;
+        for r in self.cache.values().flatten() {
+            uops += r.stats.total_retired_uops;
+            secs += r.wall_seconds();
+        }
+        (uops, secs)
+    }
+
+    /// The `label` is human-readable only; cache identity comes from the
+    /// configuration content, so two experiments asking for the same
+    /// config under different labels share one run.
+    fn suite_for(&mut self, _label: &str, cfg: &CoreConfig) -> &[SimReport] {
+        let key = config_key(cfg);
+        if !self.cache.contains_key(&key) {
+            let reports = run_suite_with_threads(cfg, self.len, self.threads);
+            self.cache.insert(key, reports);
+        }
+        &self.cache[&key]
     }
 
     fn baseline(&mut self) -> Vec<SimReport> {
-        self.suite_for("baseline", &CoreConfig::tiger_lake()).to_vec()
+        self.suite_for("baseline", &CoreConfig::tiger_lake())
+            .to_vec()
     }
 
     fn rfp(&mut self) -> Vec<SimReport> {
@@ -218,22 +360,85 @@ impl Harness {
         let c2 = CoreConfig::baseline_2x();
         let mut t = TextTable::new(&["parameter", "Baseline", "Baseline-2x"]);
         let rows: Vec<(&str, String, String)> = vec![
-            ("width (rename/dispatch)", c.width.to_string(), c2.width.to_string()),
-            ("ROB entries", c.rob_entries.to_string(), c2.rob_entries.to_string()),
-            ("RS entries", c.rs_entries.to_string(), c2.rs_entries.to_string()),
-            ("LDQ / STQ", format!("{} / {}", c.ldq_entries, c.stq_entries),
-                format!("{} / {}", c2.ldq_entries, c2.stq_entries)),
-            ("ALU / FP ports", format!("{} / {}", c.alu_ports, c.fp_ports),
-                format!("{} / {}", c2.alu_ports, c2.fp_ports)),
-            ("L1 load ports", c.ports.load_ports.to_string(), c2.ports.load_ports.to_string()),
-            ("L1D", format!("{} KiB, {}-cycle", c.mem.l1.size_bytes >> 10, c.mem.l1.latency),
-                format!("{} KiB, {}-cycle", c2.mem.l1.size_bytes >> 10, c2.mem.l1.latency)),
-            ("L2", format!("{} KiB, {}-cycle", c.mem.l2.size_bytes >> 10, c.mem.l2.latency),
-                format!("{} KiB, {}-cycle", c2.mem.l2.size_bytes >> 10, c2.mem.l2.latency)),
-            ("LLC", format!("{} MiB, {}-cycle", c.mem.llc.size_bytes >> 20, c.mem.llc.latency),
-                format!("{} MiB, {}-cycle", c2.mem.llc.size_bytes >> 20, c2.mem.llc.latency)),
-            ("DRAM latency", c.mem.dram_latency.to_string(), c2.mem.dram_latency.to_string()),
-            ("VP flush penalty", c.vp_flush_penalty.to_string(), c2.vp_flush_penalty.to_string()),
+            (
+                "width (rename/dispatch)",
+                c.width.to_string(),
+                c2.width.to_string(),
+            ),
+            (
+                "ROB entries",
+                c.rob_entries.to_string(),
+                c2.rob_entries.to_string(),
+            ),
+            (
+                "RS entries",
+                c.rs_entries.to_string(),
+                c2.rs_entries.to_string(),
+            ),
+            (
+                "LDQ / STQ",
+                format!("{} / {}", c.ldq_entries, c.stq_entries),
+                format!("{} / {}", c2.ldq_entries, c2.stq_entries),
+            ),
+            (
+                "ALU / FP ports",
+                format!("{} / {}", c.alu_ports, c.fp_ports),
+                format!("{} / {}", c2.alu_ports, c2.fp_ports),
+            ),
+            (
+                "L1 load ports",
+                c.ports.load_ports.to_string(),
+                c2.ports.load_ports.to_string(),
+            ),
+            (
+                "L1D",
+                format!(
+                    "{} KiB, {}-cycle",
+                    c.mem.l1.size_bytes >> 10,
+                    c.mem.l1.latency
+                ),
+                format!(
+                    "{} KiB, {}-cycle",
+                    c2.mem.l1.size_bytes >> 10,
+                    c2.mem.l1.latency
+                ),
+            ),
+            (
+                "L2",
+                format!(
+                    "{} KiB, {}-cycle",
+                    c.mem.l2.size_bytes >> 10,
+                    c.mem.l2.latency
+                ),
+                format!(
+                    "{} KiB, {}-cycle",
+                    c2.mem.l2.size_bytes >> 10,
+                    c2.mem.l2.latency
+                ),
+            ),
+            (
+                "LLC",
+                format!(
+                    "{} MiB, {}-cycle",
+                    c.mem.llc.size_bytes >> 20,
+                    c.mem.llc.latency
+                ),
+                format!(
+                    "{} MiB, {}-cycle",
+                    c2.mem.llc.size_bytes >> 20,
+                    c2.mem.llc.latency
+                ),
+            ),
+            (
+                "DRAM latency",
+                c.mem.dram_latency.to_string(),
+                c2.mem.dram_latency.to_string(),
+            ),
+            (
+                "VP flush penalty",
+                c.vp_flush_penalty.to_string(),
+                c2.vp_flush_penalty.to_string(),
+            ),
         ];
         for (k, a, b) in &rows {
             t.row(&[k, a, b]);
@@ -367,9 +572,23 @@ impl Harness {
         let ex_sh = mean_frac(&shared, |r| r.executed_frac());
         let ex_de = mean_frac(&dedicated, |r| r.executed_frac());
         let mut t = TextTable::new(&["L1 ports for RFP", "speedup", "executed", "paper"]);
-        t.row(&["shared (lowest priority)", &pct(s_sh - 1.0), &pct(ex_sh), "+3.1%"]);
-        t.row(&["dedicated (doubled ports)", &pct(s_de - 1.0), &pct(ex_de), "+4.0%"]);
-        let extra = if ex_sh > 0.0 { ex_de / ex_sh - 1.0 } else { 0.0 };
+        t.row(&[
+            "shared (lowest priority)",
+            &pct(s_sh - 1.0),
+            &pct(ex_sh),
+            "+3.1%",
+        ]);
+        t.row(&[
+            "dedicated (doubled ports)",
+            &pct(s_de - 1.0),
+            &pct(ex_de),
+            "+4.0%",
+        ]);
+        let extra = if ex_sh > 0.0 {
+            ex_de / ex_sh - 1.0
+        } else {
+            0.0
+        };
         format!(
             "Figure 14: impact of L1 cache bandwidth on RFP timeliness\n\
              (paper: dedicated ports execute 16.1% more prefetches)\n\n{}\nextra prefetches executed with dedicated ports: {}\n",
@@ -457,11 +676,27 @@ impl Harness {
             }
         };
         let mut t = TextTable::new(&["constraint", "loads remaining", "paper"]);
-        t.row(&["address predictable (any confidence)", &pct(frac(|r| r.stats.ap_known)), "~RFP level"]);
-        t.row(&["AP high confidence (APHC)", &pct(frac(|r| r.stats.ap_high_confidence)), "49%"]);
+        t.row(&[
+            "address predictable (any confidence)",
+            &pct(frac(|r| r.stats.ap_known)),
+            "~RFP level",
+        ]);
+        t.row(&[
+            "AP high confidence (APHC)",
+            &pct(frac(|r| r.stats.ap_high_confidence)),
+            "49%",
+        ]);
         t.row(&["+ no-FWD filter", &pct(frac(|r| r.stats.ap_no_fwd)), "45%"]);
-        t.row(&["+ L1 port available at fetch", &pct(frac(|r| r.stats.ap_probe_launched)), "22%"]);
-        t.row(&["+ probe data back by allocate", &pct(frac(|r| r.stats.ap_probe_success)), "11%"]);
+        t.row(&[
+            "+ L1 port available at fetch",
+            &pct(frac(|r| r.stats.ap_probe_launched)),
+            "22%",
+        ]);
+        t.row(&[
+            "+ probe data back by allocate",
+            &pct(frac(|r| r.stats.ap_probe_success)),
+            "11%",
+        ]);
         format!(
             "Figure 16: coverage of the DLVP address predictor under successive constraints\n\n{}",
             t.render()
@@ -473,8 +708,19 @@ impl Harness {
     /// Figure 17: confidence-counter width sweep.
     pub fn fig17(&mut self) -> String {
         let base = self.baseline();
-        let mut t = TextTable::new(&["confidence bits", "speedup", "coverage", "wrong", "paper (speedup/cov)"]);
-        let paper = ["+3.1% / 43.4%", "+2.9% / 41.6%", "+2.7% / 39.9%", "+2.4% / 37.7%"];
+        let mut t = TextTable::new(&[
+            "confidence bits",
+            "speedup",
+            "coverage",
+            "wrong",
+            "paper (speedup/cov)",
+        ]);
+        let paper = [
+            "+3.1% / 43.4%",
+            "+2.9% / 41.6%",
+            "+2.7% / 39.9%",
+            "+2.4% / 37.7%",
+        ];
         for (i, bits) in [1u8, 2, 3, 4].iter().enumerate() {
             let mut cfg = CoreConfig::tiger_lake().with_rfp();
             if let Some(r) = cfg.rfp.as_mut() {
@@ -560,8 +806,16 @@ impl Harness {
         let s_stride = geomean_speedup(&base, &rfp).unwrap_or(1.0);
         let s_ctx = geomean_speedup(&base, &c).unwrap_or(1.0);
         let mut t = TextTable::new(&["RFP prefetcher", "speedup", "coverage"]);
-        t.row(&["stride only", &pct(s_stride - 1.0), &pct(mean_frac(&rfp, |r| r.coverage()))]);
-        t.row(&["stride + context", &pct(s_ctx - 1.0), &pct(mean_frac(&c, |r| r.coverage()))]);
+        t.row(&[
+            "stride only",
+            &pct(s_stride - 1.0),
+            &pct(mean_frac(&rfp, |r| r.coverage())),
+        ]);
+        t.row(&[
+            "stride + context",
+            &pct(s_ctx - 1.0),
+            &pct(mean_frac(&c, |r| r.coverage())),
+        ]);
         format!(
             "Section 5.5.3: the context (delta-correlating) prefetcher adds only\n\
              a marginal gain over stride (paper: +0.3%); measured delta: {}\n\n{}",
@@ -583,7 +837,8 @@ impl Harness {
         let s_full = geomean_speedup(&base, &f).unwrap_or(1.0);
         let mut t = TextTable::new(&["PT address storage", "speedup", "PT size (1K entries)"]);
         let pat_kib = {
-            let pt = rfp_predictors::PrefetchTable::new(PrefetchTableConfig::default()).expect("valid");
+            let pt =
+                rfp_predictors::PrefetchTable::new(PrefetchTableConfig::default()).expect("valid");
             format!("{:.1} KiB", pt.storage().total_kib())
         };
         let full_kib = {
@@ -622,9 +877,21 @@ impl Harness {
         let s1 = geomean_speedup(&base, &kt).unwrap_or(1.0);
         let s2 = geomean_speedup(&base, &dm).unwrap_or(1.0);
         let mut t = TextTable::new(&["variant", "speedup", "delta vs default"]);
-        t.row(&["default (drop on TLB miss, continue on L1 miss)", &pct(s0 - 1.0), "-"]);
-        t.row(&["also prefetch across TLB misses", &pct(s1 - 1.0), &pct(s1 - s0)]);
-        t.row(&["drop prefetches that miss the L1", &pct(s2 - 1.0), &pct(s2 - s0)]);
+        t.row(&[
+            "default (drop on TLB miss, continue on L1 miss)",
+            &pct(s0 - 1.0),
+            "-",
+        ]);
+        t.row(&[
+            "also prefetch across TLB misses",
+            &pct(s1 - 1.0),
+            &pct(s1 - s0),
+        ]);
+        t.row(&[
+            "drop prefetches that miss the L1",
+            &pct(s2 - 1.0),
+            &pct(s2 - s0),
+        ]);
         format!(
             "Section 5.5.5: pipeline simplifications\n\
              (paper: TLB-miss drop costs ~nothing; serving L1 misses adds only +0.02%)\n\n{}",
@@ -705,8 +972,7 @@ impl Harness {
         let gr = self.suite_for("rfp-gshare", &grfp).to_vec();
 
         let mut t = TextTable::new(&["front-end model", "RFP speedup", "baseline IPC (mean)"]);
-        let mean_ipc =
-            |rs: &[SimReport]| rs.iter().map(|r| r.ipc()).sum::<f64>() / rs.len() as f64;
+        let mean_ipc = |rs: &[SimReport]| rs.iter().map(|r| r.ipc()).sum::<f64>() / rs.len() as f64;
         t.row(&[
             "trace-oracle mispredicts",
             &pct(geomean_speedup(&base, &rfp).unwrap_or(1.0) - 1.0),
@@ -746,5 +1012,34 @@ mod tests {
         // dynamic ones are covered by the integration suite.
         assert!(Harness::ALL_IDS.contains(&"fig10"));
         assert_eq!(Harness::ALL_IDS.len(), 20);
+    }
+
+    #[test]
+    fn plans_cover_every_dynamic_experiment() {
+        for id in Harness::ALL_IDS {
+            let plan = Harness::plan(id);
+            if id == "tab1" || id == "tab2" {
+                assert!(plan.is_empty(), "{id} is static");
+            } else {
+                assert!(!plan.is_empty(), "{id} needs a plan for prefetching");
+                for cfg in &plan {
+                    assert!(cfg.validate().is_ok(), "{id} planned an invalid config");
+                }
+            }
+        }
+        assert!(Harness::plan("nonsense").is_empty());
+    }
+
+    #[test]
+    fn plan_configs_dedupe_across_experiments() {
+        use std::collections::HashSet;
+        // The baseline appears in almost every plan but must map to one
+        // cache key — that's the point of content hashing.
+        let keys: HashSet<u64> = ["fig10", "fig11", "fig2"]
+            .iter()
+            .flat_map(|id| Harness::plan(id))
+            .map(|cfg| config_key(&cfg))
+            .collect();
+        assert_eq!(keys.len(), 2, "baseline + rfp only");
     }
 }

@@ -1,0 +1,57 @@
+//! The work-stealing engine must be a pure performance feature: running
+//! the suite on any number of threads yields *byte-identical* reports,
+//! in the same order, as a plain serial loop over the suite.
+
+use rfp_bench::{run_grid, run_suite_with_threads};
+use rfp_core::{simulate_workload, CoreConfig};
+use rfp_stats::SimReport;
+
+const LEN: u64 = 3_000;
+
+fn serial_reference(cfg: &CoreConfig) -> Vec<SimReport> {
+    rfp_trace::suite()
+        .iter()
+        .map(|w| simulate_workload(cfg, w, LEN).expect("valid config"))
+        .collect()
+}
+
+fn canonical_bytes(reports: &[SimReport]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in reports {
+        out.extend_from_slice(r.canonical_text().as_bytes());
+        out.push(b'\n');
+    }
+    out
+}
+
+#[test]
+fn run_suite_is_byte_identical_at_any_thread_count() {
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let reference = serial_reference(&cfg);
+    let reference_bytes = canonical_bytes(&reference);
+    for threads in [1, 2, 5, 8] {
+        let got = run_suite_with_threads(&cfg, LEN, threads);
+        // Structural equality first (wall time is equality-transparent)…
+        assert_eq!(got, reference, "threads={threads} diverged");
+        // …then the stronger claim: the canonical serialisation is
+        // byte-for-byte what the serial loop produces.
+        assert_eq!(
+            canonical_bytes(&got),
+            reference_bytes,
+            "threads={threads} canonical bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn grid_rows_are_independent_of_sibling_configs() {
+    // A config's row must not change because it shared a grid with other
+    // configs (no cross-job state leaks through the engine).
+    let base = CoreConfig::tiger_lake();
+    let rfp = CoreConfig::tiger_lake().with_rfp();
+    let alone = run_grid(std::slice::from_ref(&base), LEN, 4)
+        .pop()
+        .expect("one row");
+    let paired = run_grid(&[rfp, base.clone()], LEN, 3);
+    assert_eq!(paired[1], alone);
+}

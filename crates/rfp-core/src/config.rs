@@ -229,7 +229,10 @@ impl CoreConfig {
             return Err(ConfigError::new("width", "must be nonzero"));
         }
         if self.rob_entries < self.width {
-            return Err(ConfigError::new("rob_entries", "must cover one dispatch group"));
+            return Err(ConfigError::new(
+                "rob_entries",
+                "must cover one dispatch group",
+            ));
         }
         if self.rs_entries == 0 || self.rs_entries > self.rob_entries {
             return Err(ConfigError::new(

@@ -24,7 +24,8 @@
 //! skips the cache entirely; otherwise it re-executes its own access and
 //! its speculatively woken dependents are cancelled.
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -38,6 +39,7 @@ use rfp_trace::{MicroOp, UopKind};
 use rfp_types::{Addr, ConfigError, Cycle, PhysReg, SeqNum};
 
 use crate::config::{CoreConfig, VpMode};
+use crate::event_queue::CalendarQueue;
 use crate::inst::{DlvpInfo, DynInst, Phase, RfpState, VpSource};
 
 /// Readiness value meaning "unknown / not ready".
@@ -54,29 +56,6 @@ enum EventKind {
     Complete { seq: SeqNum, gen: u32 },
     /// Correct a speculatively published register readiness.
     PredCorrect { preg: PhysReg, actual: Cycle },
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct TimedEvent {
-    at: Cycle,
-    order: u64,
-    kind: EventKind,
-}
-
-impl Ord for TimedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.order.cmp(&self.order))
-    }
-}
-
-impl PartialOrd for TimedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -135,10 +114,15 @@ pub struct Core {
     fetch_queue: VecDeque<Cycle>,
 
     rfp_queue: VecDeque<RfpPacket>,
-    events: BinaryHeap<TimedEvent>,
-    event_order: u64,
+    events: CalendarQueue<EventKind>,
     l1_retry: VecDeque<(SeqNum, u32)>,
     store_waiters: HashMap<u64, Vec<(SeqNum, u32)>>,
+
+    // Scratch buffers reused across cycles so the dispatch/issue hot path
+    // never allocates in steady state.
+    scratch_issue: Vec<SeqNum>,
+    scratch_pregs: Vec<PhysReg>,
+    scratch_lines: Vec<Addr>,
 
     ldq_used: usize,
     stq_used: usize,
@@ -210,8 +194,7 @@ impl Core {
             pt,
             ctx,
             ipp: cfg.l1_ip_prefetcher.then(IpStridePrefetcher::new),
-            gshare: matches!(cfg.branch_mode, crate::config::BranchMode::Gshare)
-                .then(Gshare::new),
+            gshare: matches!(cfg.branch_mode, crate::config::BranchMode::Gshare).then(Gshare::new),
             criticality: cfg
                 .rfp
                 .as_ref()
@@ -227,10 +210,12 @@ impl Core {
             retire_blocked_until: 0,
             fetch_queue: VecDeque::new(),
             rfp_queue: VecDeque::new(),
-            events: BinaryHeap::new(),
-            event_order: 0,
+            events: CalendarQueue::new(),
             l1_retry: VecDeque::new(),
             store_waiters: HashMap::new(),
+            scratch_issue: Vec::new(),
+            scratch_pregs: Vec::new(),
+            scratch_lines: Vec::new(),
             ldq_used: 0,
             stq_used: 0,
             rs_used: 0,
@@ -270,6 +255,7 @@ impl Core {
     ) -> CoreStats {
         self.warmup_uops = warmup;
         self.warmup_done = warmup == 0;
+        let wall_start = Instant::now();
         let mut trace = trace.into_iter().peekable();
         loop {
             self.cycle += 1;
@@ -292,6 +278,10 @@ impl Core {
         self.stats.cycles = self.cycle - self.cycle_offset;
         self.stats.mem_hit_counts = self.mem.hit_counts();
         self.stats.tlb_walks = self.mem.tlb_counters().2;
+        // Host-side throughput: measured over the whole run (warmup
+        // included) so it reflects the simulator's real speed.
+        self.stats.total_cycles = self.cycle;
+        self.stats.throughput.host_nanos = wall_start.elapsed().as_nanos() as u64;
         self.stats
     }
 
@@ -308,12 +298,7 @@ impl Core {
     }
 
     fn push_event(&mut self, at: Cycle, kind: EventKind) {
-        self.event_order += 1;
-        self.events.push(TimedEvent {
-            at,
-            order: self.event_order,
-            kind,
-        });
+        self.events.push(at, kind);
     }
 
     fn set_dst_timing(&mut self, seq: SeqNum, pred: Cycle, actual: Cycle) {
@@ -326,12 +311,8 @@ impl Core {
     // ----- events ----------------------------------------------------------
 
     fn process_events(&mut self) {
-        while let Some(ev) = self.events.peek() {
-            if ev.at > self.cycle {
-                break;
-            }
-            let ev = self.events.pop().expect("peeked");
-            match ev.kind {
+        while let Some((_, kind)) = self.events.pop_due(self.cycle) {
+            match kind {
                 EventKind::PredCorrect { preg, actual } => {
                     // Only correct if the register still carries the stale
                     // speculative value (a flush may have reset it to NEVER
@@ -434,17 +415,19 @@ impl Core {
     /// Squash execution (not allocation) of everything younger than `seq`.
     fn squash_younger(&mut self, seq: SeqNum, not_before: Cycle) {
         let start = (seq.raw() + 1).saturating_sub(self.rob_base) as usize;
-        let mut dsts = Vec::new();
+        let mut dsts = std::mem::take(&mut self.scratch_pregs);
+        dsts.clear();
         for inst in self.rob.iter_mut().skip(start) {
             inst.squash_execution(not_before);
             if let Some(d) = inst.dst_phys {
                 dsts.push(d);
             }
         }
-        for d in dsts {
+        for &d in &dsts {
             self.preg_pred[d.index()] = NEVER;
             self.preg_actual[d.index()] = NEVER;
         }
+        self.scratch_pregs = dsts;
         // Queued prefetch packets of squashed loads die with them (their
         // RfpState became Dropped inside squash_execution; the queue is
         // cleaned lazily by the engine's state check).
@@ -492,7 +475,11 @@ impl Core {
             self.retire_one(&inst);
             if !self.warmup_done && self.stats.retired_uops >= self.warmup_uops {
                 self.warmup_done = true;
+                // `total_retired_uops` tracks the whole run (it feeds the
+                // host-throughput numbers, which cover warmup too).
+                let total = self.stats.total_retired_uops;
                 self.stats = CoreStats::default();
+                self.stats.total_retired_uops = total;
                 self.cycle_offset = self.cycle;
             }
         }
@@ -500,6 +487,7 @@ impl Core {
 
     fn retire_one(&mut self, inst: &DynInst) {
         self.stats.retired_uops += 1;
+        self.stats.total_retired_uops += 1;
         let uop = &inst.uop;
         match uop.kind {
             UopKind::Load => {
@@ -571,7 +559,8 @@ impl Core {
         let mut store_agu = self.cfg.store_agu_ports;
 
         let now = self.cycle;
-        let mut to_issue: Vec<SeqNum> = Vec::new();
+        let mut to_issue = std::mem::take(&mut self.scratch_issue);
+        to_issue.clear();
         // The select logic only sees the reservation station, not the whole
         // window: stop after examining `rs_entries` waiting candidates.
         let mut examined = 0usize;
@@ -611,9 +600,10 @@ impl Core {
             to_issue.push(inst.seq);
         }
 
-        for seq in to_issue {
+        for &seq in &to_issue {
             self.issue_one(seq);
         }
+        self.scratch_issue = to_issue;
     }
 
     fn issue_one(&mut self, seq: SeqNum) {
@@ -677,11 +667,16 @@ impl Core {
         // at AGU — a table update, not a cache access — so its behaviour is
         // identical whether or not the load's data ends up coming from an
         // RFP prefetch.
-        if let Some(ipp) = self.ipp.as_mut() {
-            let lines = ipp.train(uop.pc, addr);
-            for line in lines {
+        if self.ipp.is_some() {
+            let mut lines = std::mem::take(&mut self.scratch_lines);
+            lines.clear();
+            if let Some(ipp) = self.ipp.as_mut() {
+                ipp.train_into(uop.pc, addr, &mut lines);
+            }
+            for &line in &lines {
                 self.mem.prefetch_fill(line, now);
             }
+            self.scratch_lines = lines;
         }
 
         // DLVP address validation happens at AGU: a wrong predicted
@@ -703,9 +698,7 @@ impl Core {
         }
         // Re-read after the DLVP check may have cleared the prediction —
         // the timing below must treat this load as unpredicted then.
-        let vp_active = self
-            .inst(seq)
-            .is_some_and(|i| i.predicted_value.is_some());
+        let vp_active = self.inst(seq).is_some_and(|i| i.predicted_value.is_some());
 
         match rfp_state {
             RfpState::Queued { .. } => {
@@ -733,7 +726,10 @@ impl Core {
                             i.rfp_fully_hid = true;
                         }
                     }
-                    let idx = HitLevel::ALL.iter().position(|&l| l == level).expect("in ALL");
+                    let idx = HitLevel::ALL
+                        .iter()
+                        .position(|&l| l == level)
+                        .expect("in ALL");
                     self.stats.load_hit_levels[idx] += 1;
                     self.finish_load(seq, done, Some(level), vp_active);
                     return;
@@ -812,7 +808,10 @@ impl Core {
         let now = self.cycle;
         let result = self.mem.access(addr, now, false);
         let level = result.level;
-        let idx = HitLevel::ALL.iter().position(|&l| l == level).expect("in ALL");
+        let idx = HitLevel::ALL
+            .iter()
+            .position(|&l| l == level)
+            .expect("in ALL");
         self.stats.load_hit_levels[idx] += 1;
         let pc = self.inst(seq).expect("in window").uop.pc;
         let predicted_hit = self.hit_miss.predict_hit(pc);
@@ -849,7 +848,10 @@ impl Core {
                 if let Some(dst) = self.inst(seq).and_then(|i| i.dst_phys) {
                     self.push_event(
                         now + HIT_DETECT_LATENCY,
-                        EventKind::PredCorrect { preg: dst, actual: done },
+                        EventKind::PredCorrect {
+                            preg: dst,
+                            actual: done,
+                        },
                     );
                 }
             }
@@ -881,7 +883,9 @@ impl Core {
             }
             if inst.mem_executed {
                 if inst.uop.mem_ref().addr == addr {
-                    return StoreScan::Forward { store_seq: inst.seq };
+                    return StoreScan::Forward {
+                        store_seq: inst.seq,
+                    };
                 }
             } else {
                 has_unresolved_older_store = true;
@@ -956,7 +960,10 @@ impl Core {
         // yet dispatched, no flush is needed; it simply re-looks-up).
         let start = (seq.raw() + 1).saturating_sub(self.rob_base) as usize;
         for l in self.rob.iter_mut().skip(start) {
-            if let RfpState::InFlight { addr: paddr, stale, .. } = &mut l.rfp {
+            if let RfpState::InFlight {
+                addr: paddr, stale, ..
+            } = &mut l.rfp
+            {
                 if *paddr == addr && l.issue_cycle.is_none() {
                     *stale = true;
                 }
@@ -998,14 +1005,12 @@ impl Core {
         let penalty_end = self.cycle + self.cfg.vp_flush_penalty;
         self.dispatch_blocked_until = self.dispatch_blocked_until.max(penalty_end);
         // Reset the load itself.
-        let mut dsts = Vec::new();
+        let mut dst = None;
         if let Some(i) = self.inst_mut(load_seq) {
             i.squash_execution(penalty_end);
-            if let Some(d) = i.dst_phys {
-                dsts.push(d);
-            }
+            dst = i.dst_phys;
         }
-        for d in dsts {
+        if let Some(d) = dst {
             self.preg_pred[d.index()] = NEVER;
             self.preg_actual[d.index()] = NEVER;
         }
@@ -1015,12 +1020,18 @@ impl Core {
     // ----- RFP engine ------------------------------------------------------
 
     fn rfp_engine(&mut self) {
-        let Some(rfp_cfg) = self.cfg.rfp.clone() else { return };
+        // Copy out the two flags the loop needs instead of cloning the
+        // whole RFP config every cycle.
+        let (drop_on_tlb_miss, continue_on_l1_miss) = match self.cfg.rfp.as_ref() {
+            Some(r) => (r.drop_on_tlb_miss, r.continue_on_l1_miss),
+            None => return,
+        };
         // FIFO: only the front packets can bid this cycle; older wins.
-        loop {
-            let Some(&pkt) = self.rfp_queue.front() else { break };
+        while let Some(&pkt) = self.rfp_queue.front() {
             // Stale or superseded packet?
-            let state = self.inst(pkt.seq).map(|i| (i.gen, i.rfp, i.issue_cycle.is_some()));
+            let state = self
+                .inst(pkt.seq)
+                .map(|i| (i.gen, i.rfp, i.issue_cycle.is_some()));
             let Some((gen, state, issued)) = state else {
                 self.rfp_queue.pop_front();
                 continue;
@@ -1033,7 +1044,7 @@ impl Core {
             }
             // DTLB check: prefetching across a TLB miss has no run-ahead
             // left; drop (§3.2.2).
-            if rfp_cfg.drop_on_tlb_miss && !self.mem.rfp_dtlb_hit(pkt.addr) {
+            if drop_on_tlb_miss && !self.mem.rfp_dtlb_hit(pkt.addr) {
                 self.stats.rfp_dropped_tlb += 1;
                 if let Some(i) = self.inst_mut(pkt.seq) {
                     i.rfp = RfpState::Dropped;
@@ -1075,10 +1086,7 @@ impl Core {
                 StoreScan::NoConflict => {
                     // Lowest priority everywhere: never let a prefetch take
                     // one of the last L2 miss slots from demand loads.
-                    if self
-                        .mem
-                        .prefetch_would_starve_demand(pkt.addr, self.cycle)
-                    {
+                    if self.mem.prefetch_would_starve_demand(pkt.addr, self.cycle) {
                         self.stats.rfp_dropped_l1_miss += 1;
                         if let Some(i) = self.inst_mut(pkt.seq) {
                             i.rfp = RfpState::Dropped;
@@ -1091,7 +1099,7 @@ impl Core {
                     }
                     let now = self.cycle;
                     let result = self.mem.access(pkt.addr, now, false);
-                    if result.level != HitLevel::L1 && !rfp_cfg.continue_on_l1_miss {
+                    if result.level != HitLevel::L1 && !continue_on_l1_miss {
                         self.stats.rfp_dropped_l1_miss += 1;
                         if let Some(i) = self.inst_mut(pkt.seq) {
                             i.rfp = RfpState::Dropped;
@@ -1228,7 +1236,10 @@ impl Core {
                 self.stq_used += 1;
                 self.store_sets.store_dispatched(uop.pc, seq);
             }
-            UopKind::Branch { taken, mispredicted } => {
+            UopKind::Branch {
+                taken,
+                mispredicted,
+            } => {
                 self.path.push(uop.pc);
                 // Either trust the trace's oracle marker, or let the
                 // modelled gshare decide from the actual outcome stream.
@@ -1315,7 +1326,9 @@ impl Core {
 
         // RFP injection (paper §3.2): look up the PT, mark eligibility,
         // send a packet with the predicted address and the prfid.
-        let Some(rfp_cfg) = self.cfg.rfp.as_ref() else { return };
+        let Some(rfp_cfg) = self.cfg.rfp.as_ref() else {
+            return;
+        };
         if rfp_cfg.vp_filter && inst.predicted_value.is_some() {
             return;
         }
@@ -1356,10 +1369,7 @@ impl Core {
 
     /// Pre-installs memory regions into the cache hierarchy (checkpoint
     /// warmup). Each item is `(base, bytes, deepest resident level)`.
-    pub fn prewarm_from(
-        &mut self,
-        regions: impl IntoIterator<Item = (Addr, u64, HitLevel)>,
-    ) {
+    pub fn prewarm_from(&mut self, regions: impl IntoIterator<Item = (Addr, u64, HitLevel)>) {
         for (base, bytes, level) in regions {
             self.mem.prewarm_region(base, bytes, level);
         }
@@ -1379,23 +1389,25 @@ mod tests {
 
     #[test]
     fn timed_events_pop_earliest_first_with_fifo_ties() {
-        let mut heap = BinaryHeap::new();
-        let ev = |at, order| TimedEvent {
-            at,
-            order,
-            kind: EventKind::PredCorrect {
-                preg: PhysReg::new(0),
-                actual: 0,
-            },
+        let mut q: CalendarQueue<EventKind> = CalendarQueue::new();
+        let ev = |actual| EventKind::PredCorrect {
+            preg: PhysReg::new(0),
+            actual,
         };
-        heap.push(ev(30, 1));
-        heap.push(ev(10, 2));
-        heap.push(ev(10, 3));
-        heap.push(ev(20, 4));
-        let order: Vec<(Cycle, u64)> = std::iter::from_fn(|| heap.pop())
-            .map(|e| (e.at, e.order))
-            .collect();
-        assert_eq!(order, vec![(10, 2), (10, 3), (20, 4), (30, 1)]);
+        q.push(30, ev(1));
+        q.push(10, ev(2));
+        q.push(10, ev(3));
+        q.push(20, ev(4));
+        let mut order: Vec<(Cycle, EventKind)> = Vec::new();
+        for now in 0..=30 {
+            while let Some(e) = q.pop_due(now) {
+                order.push(e);
+            }
+        }
+        assert_eq!(
+            order,
+            vec![(10, ev(2)), (10, ev(3)), (20, ev(4)), (30, ev(1))]
+        );
     }
 
     #[test]

@@ -240,10 +240,7 @@ mod tests {
 
     #[test]
     fn rfp_state_predicates() {
-        assert!(RfpState::Queued {
-            addr: Addr::new(0)
-        }
-        .is_queued());
+        assert!(RfpState::Queued { addr: Addr::new(0) }.is_queued());
         assert!(RfpState::InFlight {
             addr: Addr::new(0),
             lookup_start: 0,

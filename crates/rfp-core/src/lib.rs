@@ -27,10 +27,12 @@
 
 mod config;
 mod core;
+mod event_queue;
 mod inst;
 
 pub use crate::core::Core;
 pub use config::{BranchMode, CoreConfig, RfpConfig, VpMode};
+pub use event_queue::CalendarQueue;
 pub use inst::{DlvpInfo, DynInst, Phase, RfpState, VpSource};
 pub use rfp_mem::OracleMode;
 

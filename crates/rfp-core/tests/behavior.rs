@@ -38,7 +38,12 @@ fn parallel_alus(n: u64) -> Vec<MicroOp> {
     let mut ops = Vec::new();
     for _ in 0..n {
         for k in 0..8u8 {
-            ops.push(MicroOp::alu(Pc::new(0x500 + k as u64 * 4), 1, &[r(0)], Some(r(16 + k))));
+            ops.push(MicroOp::alu(
+                Pc::new(0x500 + k as u64 * 4),
+                1,
+                &[r(0)],
+                Some(r(16 + k)),
+            ));
         }
     }
     ops
@@ -62,7 +67,10 @@ fn parallel_work_is_width_bound() {
     let stats = simulate(&CoreConfig::tiger_lake(), parallel_alus(n)).unwrap();
     let ipc = stats.retired_uops as f64 / stats.cycles as f64;
     // 8 independent ALUs per "iteration", 4 ALU ports, width 5 -> IPC ~4.
-    assert!(ipc > 3.0, "independent ALUs should saturate ports, ipc {ipc}");
+    assert!(
+        ipc > 3.0,
+        "independent ALUs should saturate ports, ipc {ipc}"
+    );
 }
 
 #[test]
@@ -88,7 +96,12 @@ fn mispredicted_branches_cost_cycles() {
         let mut ops = Vec::new();
         for i in 0..2_000u64 {
             ops.push(MicroOp::alu(Pc::new(0x700), 1, &[r(0)], Some(r(9))));
-            ops.push(MicroOp::branch(Pc::new(0x704), &[r(9)], true, mispredict && i % 10 == 0));
+            ops.push(MicroOp::branch(
+                Pc::new(0x704),
+                &[r(9)],
+                true,
+                mispredict && i % 10 == 0,
+            ));
         }
         ops
     };
@@ -123,7 +136,12 @@ fn rfp_covers_a_strided_serial_chain_and_speeds_it_up() {
             // the PT's 7-bit in-flight counter (paper Table 1) saturates,
             // making every extrapolated prefetch address short.
             for k in 0..6u64 {
-                ops.push(MicroOp::alu(Pc::new(0x808 + k * 4), 1, &[r(0)], Some(r(20 + k as u8))));
+                ops.push(MicroOp::alu(
+                    Pc::new(0x808 + k * 4),
+                    1,
+                    &[r(0)],
+                    Some(r(20 + k as u8)),
+                ));
             }
         }
         ops

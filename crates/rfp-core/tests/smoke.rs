@@ -33,9 +33,12 @@ fn rfp_gives_nonzero_coverage_on_streaming_workload() {
 fn oracle_l1_beats_baseline() {
     let w = rfp_trace::by_name("spec17_xalancbmk").unwrap();
     let base = simulate_workload(&CoreConfig::tiger_lake(), &w, 30_000).unwrap();
-    let oracle =
-        simulate_workload(&CoreConfig::tiger_lake().with_oracle(OracleMode::L1ToRf), &w, 30_000)
-            .unwrap();
+    let oracle = simulate_workload(
+        &CoreConfig::tiger_lake().with_oracle(OracleMode::L1ToRf),
+        &w,
+        30_000,
+    )
+    .unwrap();
     eprintln!("base={:.3} oracle={:.3}", base.ipc(), oracle.ipc());
     assert!(oracle.ipc() > base.ipc());
 }

@@ -31,11 +31,17 @@ impl CacheConfig {
     /// of `ways * line_size`, or any field is zero.
     pub fn validate(&self, name: &str) -> Result<(), ConfigError> {
         if self.size_bytes == 0 || self.ways == 0 || self.latency == 0 {
-            return Err(ConfigError::new(name, "size, ways and latency must be nonzero"));
+            return Err(ConfigError::new(
+                name,
+                "size, ways and latency must be nonzero",
+            ));
         }
         let lines = self.size_bytes / rfp_types::CACHE_LINE_BYTES;
         if lines * rfp_types::CACHE_LINE_BYTES != self.size_bytes {
-            return Err(ConfigError::new(name, "size must be a multiple of the line size"));
+            return Err(ConfigError::new(
+                name,
+                "size must be a multiple of the line size",
+            ));
         }
         if !lines.is_multiple_of(self.ways as u64) {
             return Err(ConfigError::new(

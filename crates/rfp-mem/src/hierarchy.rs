@@ -417,9 +417,7 @@ impl MemoryHierarchy {
     fn fill_l1(&mut self, addr: Addr, complete: Cycle) {
         self.l1.fill(addr);
         // Record the fill in flight so near-term re-accesses are MSHR hits.
-        let _ = self
-            .l1_mshr
-            .request(addr, complete.saturating_sub(1), 1);
+        let _ = self.l1_mshr.request(addr, complete.saturating_sub(1), 1);
     }
 
     fn finish(&mut self, level: HitLevel, complete: Cycle, tlb: TlbOutcome) -> AccessResult {
@@ -511,7 +509,9 @@ mod tests {
     fn l2_resident_set_hits_l2_after_warmup() {
         let mut m = mem();
         // 256 KiB working set: too big for L1, fits L2.
-        let lines: Vec<Addr> = (0..4096u64).map(|i| Addr::new(0x100_0000 + i * 64)).collect();
+        let lines: Vec<Addr> = (0..4096u64)
+            .map(|i| Addr::new(0x100_0000 + i * 64))
+            .collect();
         let mut t = 0;
         for &a in &lines {
             t = m.access(a, t, false).complete_at + 1;
@@ -581,7 +581,7 @@ mod tests {
         let r1 = m.access(a, 0, false);
         // Same line, same page, after fill: pure L1 hit without walk.
         let r2 = m.access(a, r1.complete_at + 1, false);
-        assert!(r1.complete_at > r2.complete_at - (r1.complete_at + 1) );
+        assert!(r1.complete_at > r2.complete_at - (r1.complete_at + 1));
         assert_eq!(r2.complete_at - (r1.complete_at + 1), 5);
     }
 }

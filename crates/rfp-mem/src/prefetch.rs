@@ -61,7 +61,8 @@ impl StreamPrefetcher {
         let stamp = self.stamp;
         let page = addr.page_frame();
         let line_in_page = ((addr.raw() >> rfp_types::CACHE_LINE_SHIFT)
-            & ((1 << (PAGE_SHIFT - rfp_types::CACHE_LINE_SHIFT)) - 1)) as i64;
+            & ((1 << (PAGE_SHIFT - rfp_types::CACHE_LINE_SHIFT)) - 1))
+            as i64;
 
         let idx = self.entries.iter().position(|e| e.page == page);
         let entry = match idx {

@@ -99,11 +99,7 @@ impl ContextPrefetcher {
         let delta = addr.stride_from(e.last_addr);
         // Learn: after `last_delta`, the stream moved by `delta`.
         let prev = e.last_delta;
-        if let Some(p) = e
-            .pairs
-            .iter_mut()
-            .find(|p| p.valid && p.prev == prev)
-        {
+        if let Some(p) = e.pairs.iter_mut().find(|p| p.valid && p.prev == prev) {
             if p.next == delta {
                 p.confidence = (p.confidence + 1).min(3);
             } else if p.confidence > 0 {

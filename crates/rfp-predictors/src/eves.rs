@@ -137,7 +137,10 @@ impl ValuePredictor {
             return None;
         }
         self.predictions += 1;
-        Some(e.last_value.wrapping_add(e.stride.wrapping_mul(e.inflight as u64)))
+        Some(
+            e.last_value
+                .wrapping_add(e.stride.wrapping_mul(e.inflight as u64)),
+        )
     }
 
     /// Trains on the actual retired value; decrements the in-flight

@@ -63,6 +63,14 @@ impl IpStridePrefetcher {
     /// Trains on an executed load and returns line addresses to prefetch
     /// into the L1 (empty until the stride is confirmed twice).
     pub fn train(&mut self, pc: Pc, addr: Addr) -> Vec<Addr> {
+        let mut out = Vec::with_capacity(2);
+        self.train_into(pc, addr, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Self::train`]: appends the prefetch
+    /// targets to `out` (callers on the hot path reuse one buffer).
+    pub fn train_into(&mut self, pc: Pc, addr: Addr, out: &mut Vec<Addr>) {
         let idx = ((pc.raw() >> 2) % TABLE_ENTRIES as u64) as usize;
         let tag = (pc.raw() >> 2) / TABLE_ENTRIES as u64;
         let e = &mut self.entries[idx];
@@ -74,7 +82,7 @@ impl IpStridePrefetcher {
                 stride: 0,
                 confidence: 0,
             };
-            return Vec::new();
+            return;
         }
         let stride = addr.stride_from(e.last_addr);
         if stride == e.stride && stride != 0 {
@@ -85,18 +93,16 @@ impl IpStridePrefetcher {
         }
         e.last_addr = addr;
         if e.confidence < 2 {
-            return Vec::new();
+            return;
         }
         // Prefetch the lines DISTANCE strides ahead (dedup by line).
-        let mut out: Vec<Addr> = Vec::with_capacity(2);
         for k in [DISTANCE, DISTANCE + 1] {
             let target = addr.offset(e.stride.wrapping_mul(k)).line();
             if !addr.same_line(target) && out.last() != Some(&target) {
                 out.push(target);
+                self.issued += 1;
             }
         }
-        self.issued += out.len() as u64;
-        out
     }
 
     /// Prefetch lines issued since construction.

@@ -51,8 +51,8 @@ mod storage;
 mod store_sets;
 
 pub use branch::Gshare;
-pub use criticality::CriticalityTable;
 pub use context::ContextPrefetcher;
+pub use criticality::CriticalityTable;
 pub use dlvp::{Dlvp, DlvpConfig, PathHistory};
 pub use eves::{ValuePredictor, ValuePredictorConfig};
 pub use hit_miss::HitMissPredictor;

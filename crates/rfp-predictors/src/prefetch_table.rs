@@ -61,10 +61,16 @@ impl PrefetchTableConfig {
     /// or out-of-range probability/width.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.entries == 0 || self.ways == 0 {
-            return Err(ConfigError::new("prefetch_table", "entries/ways must be nonzero"));
+            return Err(ConfigError::new(
+                "prefetch_table",
+                "entries/ways must be nonzero",
+            ));
         }
         if !self.entries.is_multiple_of(self.ways) {
-            return Err(ConfigError::new("prefetch_table", "entries must divide by ways"));
+            return Err(ConfigError::new(
+                "prefetch_table",
+                "entries must divide by ways",
+            ));
         }
         if self.confidence_bits == 0 || self.confidence_bits > 8 {
             return Err(ConfigError::new("confidence_bits", "must be in 1..=8"));

@@ -39,7 +39,11 @@ impl StorageRow {
 /// assert_eq!(rows.len(), 3);
 /// assert!(rows[0].structure.contains("Prefetch Table"));
 /// ```
-pub fn storage_table(pt_min_entries: usize, pt_max_entries: usize, rs_entries: u64) -> Vec<StorageRow> {
+pub fn storage_table(
+    pt_min_entries: usize,
+    pt_max_entries: usize,
+    rs_entries: u64,
+) -> Vec<StorageRow> {
     let mk = |entries: usize| {
         PrefetchTable::new(PrefetchTableConfig {
             entries,

@@ -28,6 +28,26 @@ use std::fmt::Write as _;
 
 pub use rfp_types::geomean;
 
+/// Host-side wall-clock measurement attached to a run.
+///
+/// Wall time varies run to run on the same inputs, so it is deliberately
+/// *transparent to equality*: two stat blocks that simulated identically
+/// compare equal no matter how long the host took. Determinism checks on
+/// [`CoreStats`]/[`SimReport`] therefore keep working unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostThroughput {
+    /// Wall-clock nanoseconds the run took on the host (warmup included).
+    pub host_nanos: u64,
+}
+
+impl PartialEq for HostThroughput {
+    fn eq(&self, _other: &Self) -> bool {
+        true // see type docs: wall time never participates in equality
+    }
+}
+
+impl Eq for HostThroughput {}
+
 /// Flat counter block filled by the core during simulation.
 ///
 /// All counters are dynamic-instance counts unless stated otherwise.
@@ -112,6 +132,15 @@ pub struct CoreStats {
     /// Cycles with zero retirement, classified by the kind of the ROB head
     /// blocking it: [load, store, branch, alu, fp, rob-empty] (diagnostic).
     pub stall_head_kind: [u64; 6],
+
+    /// Retired micro-ops over the *whole* run, warmup included (the
+    /// denominator-side counter for host throughput; `retired_uops` only
+    /// covers the measured window).
+    pub total_retired_uops: u64,
+    /// Simulated cycles over the whole run, warmup included.
+    pub total_cycles: u64,
+    /// Host-side throughput measurement (equality-transparent).
+    pub throughput: HostThroughput,
 }
 
 impl CoreStats {
@@ -119,6 +148,29 @@ impl CoreStats {
     /// forwarding).
     pub fn demand_loads(&self) -> u64 {
         self.load_hit_levels.iter().sum()
+    }
+
+    /// Host wall-clock seconds the run took (0 when never measured).
+    pub fn wall_seconds(&self) -> f64 {
+        self.throughput.host_nanos as f64 / 1e9
+    }
+
+    /// Simulated micro-ops retired per host second (whole run).
+    pub fn uops_per_sec(&self) -> f64 {
+        per_second(self.total_retired_uops, self.throughput.host_nanos)
+    }
+
+    /// Simulated cycles per host second (whole run).
+    pub fn cycles_per_sec(&self) -> f64 {
+        per_second(self.total_cycles, self.throughput.host_nanos)
+    }
+}
+
+fn per_second(count: u64, nanos: u64) -> f64 {
+    if nanos == 0 {
+        0.0
+    } else {
+        count as f64 * 1e9 / nanos as f64
     }
 }
 
@@ -200,6 +252,35 @@ impl SimReport {
     /// Fraction of loads ready at allocation (paper: 37%).
     pub fn ready_at_alloc_frac(&self) -> f64 {
         ratio(self.stats.loads_ready_at_alloc, self.stats.retired_loads)
+    }
+
+    /// Host wall-clock seconds this run took.
+    pub fn wall_seconds(&self) -> f64 {
+        self.stats.wall_seconds()
+    }
+
+    /// Simulated micro-ops per host second.
+    pub fn uops_per_sec(&self) -> f64 {
+        self.stats.uops_per_sec()
+    }
+
+    /// Simulated cycles per host second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.stats.cycles_per_sec()
+    }
+
+    /// Stable, byte-comparable serialization of everything deterministic
+    /// in the report. Host wall time is explicitly excluded, so two runs
+    /// of the same workload/config produce identical bytes regardless of
+    /// host speed or thread scheduling — the determinism tests compare
+    /// exactly this.
+    pub fn canonical_text(&self) -> String {
+        let mut stats = self.stats.clone();
+        stats.throughput = HostThroughput::default();
+        format!(
+            "workload={} category={} stats={stats:?}",
+            self.workload, self.category
+        )
     }
 }
 
@@ -502,5 +583,38 @@ mod tests {
     fn pct_formats_like_the_paper() {
         assert_eq!(pct(0.434), "43.4%");
         assert_eq!(pct(0.031), "3.1%");
+    }
+
+    #[test]
+    fn wall_time_is_equality_transparent() {
+        let mut a = report(100, 450, 100, 43);
+        let mut b = a.clone();
+        a.stats.throughput.host_nanos = 1_000;
+        b.stats.throughput.host_nanos = 999_999;
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a, b);
+        assert_eq!(a.canonical_text(), b.canonical_text());
+    }
+
+    #[test]
+    fn canonical_text_reflects_deterministic_fields() {
+        let a = report(100, 450, 100, 43);
+        let mut b = a.clone();
+        b.stats.retired_loads += 1;
+        assert_ne!(a.canonical_text(), b.canonical_text());
+        assert!(a.canonical_text().contains("workload=w"));
+    }
+
+    #[test]
+    fn throughput_rates_derive_from_wall_time() {
+        let mut s = CoreStats::default();
+        s.total_retired_uops = 3_000_000;
+        s.total_cycles = 1_000_000;
+        s.throughput.host_nanos = 500_000_000; // 0.5 s
+        assert!((s.uops_per_sec() - 6_000_000.0).abs() < 1e-6);
+        assert!((s.cycles_per_sec() - 2_000_000.0).abs() < 1e-6);
+        assert!((s.wall_seconds() - 0.5).abs() < 1e-12);
+        let zero = CoreStats::default();
+        assert_eq!(zero.uops_per_sec(), 0.0);
     }
 }

@@ -92,9 +92,7 @@ impl TraceGen {
     }
 
     fn addr_of(&mut self, pattern: usize) -> Addr {
-        let origin = self.program.patterns[pattern]
-            .alias_of
-            .unwrap_or(pattern);
+        let origin = self.program.patterns[pattern].alias_of.unwrap_or(pattern);
         let spec = self.program.patterns[origin].clone();
         let salt = self.salts[pattern];
         match spec.addr {
@@ -118,10 +116,7 @@ impl TraceGen {
                 let row = self.iter / row_len;
                 let col = self.iter % row_len;
                 let row_skip = row_len as i64 * elem + ROW_GAP_BYTES;
-                let off = mod_offset(
-                    row as i64 * row_skip + col as i64 * elem,
-                    spec.region_bytes,
-                );
+                let off = mod_offset(row as i64 * row_skip + col as i64 * elem, spec.region_bytes);
                 spec.base.offset(off as i64)
             }
             AddrPattern::Constant => spec.base,
@@ -229,7 +224,10 @@ impl Iterator for TraceGen {
                 let mispredicted = self.branch_rng.gen_bool(self.program.mispredict_rate);
                 MicroOp {
                     pc: inst.pc,
-                    kind: crate::UopKind::Branch { taken, mispredicted },
+                    kind: crate::UopKind::Branch {
+                        taken,
+                        mispredicted,
+                    },
                     src_regs: inst.srcs,
                     dst: None,
                     mem: None,
@@ -318,8 +316,10 @@ mod tests {
         for w in addrs.windows(2) {
             let delta = w[1].wrapping_sub(w[0]) as i64;
             // Either the stride, or a wrap back around the region.
-            assert!(delta == stride || delta.unsigned_abs() > 64,
-                "unexpected delta {delta} for stride {stride}");
+            assert!(
+                delta == stride || delta.unsigned_abs() > 64,
+                "unexpected delta {delta} for stride {stride}"
+            );
         }
     }
 
@@ -330,10 +330,7 @@ mod tests {
         params.store_alias_frac = 1.0;
         params.store_frac = 0.25;
         let prog = Program::synthesize(&params, 21).unwrap();
-        let alias = prog
-            .patterns
-            .iter()
-            .position(|p| p.alias_of.is_some());
+        let alias = prog.patterns.iter().position(|p| p.alias_of.is_some());
         let Some(alias) = alias else {
             // Seed produced no alias pair; acceptable but unlikely.
             return;
@@ -434,7 +431,10 @@ mod tests {
         let addrs: Vec<u64> = TraceGen::new(prog, 1, 12)
             .map(|op| op.mem.unwrap().addr.raw())
             .collect();
-        let deltas: Vec<i64> = addrs.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let deltas: Vec<i64> = addrs
+            .windows(2)
+            .map(|w| w[1] as i64 - w[0] as i64)
+            .collect();
         // Instances 0..4 walk +8; the i3->i4 hop still closes the phase-0
         // run (+8), then four +32 hops, then back to +8 — the run-length
         // structure a single-stride predictor keeps stumbling over.
@@ -475,7 +475,10 @@ mod tests {
         let mut branches = 0u64;
         let mut mispredicted = 0u64;
         for op in TraceGen::new(prog, 2, 200_000) {
-            if let UopKind::Branch { mispredicted: m, .. } = op.kind {
+            if let UopKind::Branch {
+                mispredicted: m, ..
+            } = op.kind
+            {
                 branches += 1;
                 mispredicted += m as u64;
             }

@@ -65,7 +65,11 @@ impl TraceParseError {
 
 impl fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -148,10 +152,24 @@ pub fn write_trace(ops: &[MicroOp]) -> String {
         let srcs = fmt_regs(op);
         match op.kind {
             UopKind::Alu { latency } => {
-                let _ = writeln!(out, "A {:#x} {} {} {}", op.pc.raw(), latency, srcs, fmt_dst(op));
+                let _ = writeln!(
+                    out,
+                    "A {:#x} {} {} {}",
+                    op.pc.raw(),
+                    latency,
+                    srcs,
+                    fmt_dst(op)
+                );
             }
             UopKind::Fp { latency } => {
-                let _ = writeln!(out, "F {:#x} {} {} {}", op.pc.raw(), latency, srcs, fmt_dst(op));
+                let _ = writeln!(
+                    out,
+                    "F {:#x} {} {} {}",
+                    op.pc.raw(),
+                    latency,
+                    srcs,
+                    fmt_dst(op)
+                );
             }
             UopKind::Load => {
                 let m = op.mem_ref();
@@ -178,7 +196,10 @@ pub fn write_trace(ops: &[MicroOp]) -> String {
                     m.value
                 );
             }
-            UopKind::Branch { taken, mispredicted } => {
+            UopKind::Branch {
+                taken,
+                mispredicted,
+            } => {
                 let _ = writeln!(
                     out,
                     "B {:#x} {} {} {}",

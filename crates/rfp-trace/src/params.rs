@@ -263,7 +263,7 @@ impl Default for GenParams {
 fn normalize<const N: usize>(field: &str, weights: [f64; N]) -> Result<[f64; N], ConfigError> {
     let mut sum = 0.0;
     for &w in &weights {
-        if !(w >= 0.0) || !w.is_finite() {
+        if w < 0.0 || !w.is_finite() {
             return Err(ConfigError::new(field, "weights must be finite and >= 0"));
         }
         sum += w;

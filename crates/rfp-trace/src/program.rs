@@ -329,9 +329,7 @@ impl<'p> Builder<'p> {
             let dst = self.next_pool_reg();
             self.insts.push(StaticInst {
                 pc: Pc::new(0),
-                kind: StaticKind::Load {
-                    pattern: alias_pat,
-                },
+                kind: StaticKind::Load { pattern: alias_pat },
                 srcs,
                 dst: Some(dst),
             });
@@ -415,7 +413,11 @@ impl<'p> Builder<'p> {
         // Most branches are strongly biased (loop back-edges, guards); a
         // few are balanced — the mix a real front-end predictor sees.
         let taken_bias = if self.rng.gen_bool(0.8) {
-            if self.rng.gen_bool(0.5) { 0.95 } else { 0.05 }
+            if self.rng.gen_bool(0.5) {
+                0.95
+            } else {
+                0.05
+            }
         } else {
             self.rng.gen_range(0.3..0.7)
         };
@@ -440,7 +442,11 @@ impl<'p> Builder<'p> {
         let join = from_spine || self.rng.gen_bool(self.params.spine_frac * 0.05);
         if join {
             let spine = ArchReg::new(SPINE_REG);
-            self.push(StaticKind::Alu { latency: 1 }, &[spine, load_dst], Some(spine));
+            self.push(
+                StaticKind::Alu { latency: 1 },
+                &[spine, load_dst],
+                Some(spine),
+            );
         }
     }
 
@@ -489,7 +495,12 @@ impl<'p> Builder<'p> {
         self.patterns.len() - 1
     }
 
-    fn new_pattern(&mut self, addr: AddrPattern, value: ValuePattern, ws: WorkingSetClass) -> usize {
+    fn new_pattern(
+        &mut self,
+        addr: AddrPattern,
+        value: ValuePattern,
+        ws: WorkingSetClass,
+    ) -> usize {
         self.patterns.push(PatternSpec {
             addr,
             value,

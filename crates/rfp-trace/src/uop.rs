@@ -188,7 +188,10 @@ impl MicroOp {
     pub fn branch(pc: Pc, srcs: &[ArchReg], taken: bool, mispredicted: bool) -> Self {
         MicroOp {
             pc,
-            kind: UopKind::Branch { taken, mispredicted },
+            kind: UopKind::Branch {
+                taken,
+                mispredicted,
+            },
             src_regs: pack_srcs(srcs),
             dst: None,
             mem: None,

@@ -27,7 +27,7 @@ mod ids;
 
 pub use addr::{Addr, CACHE_LINE_BYTES, CACHE_LINE_SHIFT, PAGE_BYTES, PAGE_SHIFT};
 pub use error::ConfigError;
-pub use ids::{ArchReg, PhysReg, Pc, SeqNum};
+pub use ids::{ArchReg, Pc, PhysReg, SeqNum};
 
 /// A simulated clock cycle count.
 ///
@@ -58,7 +58,7 @@ pub fn geomean(values: &[f64]) -> Option<f64> {
     }
     let mut log_sum = 0.0;
     for &v in values {
-        if !(v > 0.0) || !v.is_finite() {
+        if v <= 0.0 || !v.is_finite() {
             return None;
         }
         log_sum += v.ln();

@@ -38,11 +38,26 @@ fn kernel() -> Vec<MicroOp> {
     let mut ops = Vec::new();
     for i in 0..ITERS {
         // Three L1-resident chain loads (strided: RFP-coverable).
-        ops.push(MicroOp::load(Pc::new(0x100), &[r(8)], r(10), mem(0x1_0000 + (i % 128) * 8, i)));
+        ops.push(MicroOp::load(
+            Pc::new(0x100),
+            &[r(8)],
+            r(10),
+            mem(0x1_0000 + (i % 128) * 8, i),
+        ));
         ops.push(MicroOp::alu(Pc::new(0x104), 1, &[r(10)], Some(r(11))));
-        ops.push(MicroOp::load(Pc::new(0x108), &[r(11)], r(12), mem(0x2_0000 + (i % 128) * 8, i)));
+        ops.push(MicroOp::load(
+            Pc::new(0x108),
+            &[r(11)],
+            r(12),
+            mem(0x2_0000 + (i % 128) * 8, i),
+        ));
         ops.push(MicroOp::alu(Pc::new(0x10c), 1, &[r(12)], Some(r(13))));
-        ops.push(MicroOp::load(Pc::new(0x110), &[r(13)], r(14), mem(0x3_0000 + (i % 128) * 8, i)));
+        ops.push(MicroOp::load(
+            Pc::new(0x110),
+            &[r(13)],
+            r(14),
+            mem(0x3_0000 + (i % 128) * 8, i),
+        ));
         // The critical miss: its address hangs off the chain; the data is a
         // random walk over 32 MiB (DRAM-resident, unpredictable).
         let big = (0x1000_0000 + i.wrapping_mul(0x9e37_79b9) % (32 << 20)) & !7;
@@ -50,7 +65,12 @@ fn kernel() -> Vec<MicroOp> {
         ops.push(MicroOp::alu(Pc::new(0x118), 1, &[r(15)], Some(r(8))));
         // Bulk, off the critical path.
         for k in 0..8u8 {
-            ops.push(MicroOp::alu(Pc::new(0x200 + k as u64 * 4), 1, &[r(0)], Some(r(24 + k))));
+            ops.push(MicroOp::alu(
+                Pc::new(0x200 + k as u64 * 4),
+                1,
+                &[r(0)],
+                Some(r(24 + k)),
+            ));
         }
     }
     ops

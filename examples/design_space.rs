@@ -15,10 +15,17 @@ use rfp::trace::Workload;
 
 fn subset() -> Vec<Workload> {
     // One representative per category keeps the sweep fast.
-    ["spec06_gcc", "spec06_namd", "spec17_mcf", "spec17_roms", "hadoop", "geekbench_int"]
-        .iter()
-        .map(|n| rfp::trace::by_name(n).expect("in suite"))
-        .collect()
+    [
+        "spec06_gcc",
+        "spec06_namd",
+        "spec17_mcf",
+        "spec17_roms",
+        "hadoop",
+        "geekbench_int",
+    ]
+    .iter()
+    .map(|n| rfp::trace::by_name(n).expect("in suite"))
+    .collect()
 }
 
 fn run(cfg: &CoreConfig, len: u64) -> Vec<SimReport> {
@@ -43,7 +50,10 @@ fn main() {
         t.row(&[label, &pct(s - 1.0), &pct(cov)]);
     };
 
-    row("default RFP (1K PT, 1-bit conf)", CoreConfig::tiger_lake().with_rfp());
+    row(
+        "default RFP (1K PT, 1-bit conf)",
+        CoreConfig::tiger_lake().with_rfp(),
+    );
 
     for entries in [256usize, 4096] {
         let mut c = CoreConfig::tiger_lake().with_rfp();

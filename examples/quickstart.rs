@@ -34,12 +34,12 @@ fn main() {
 
     println!("baseline IPC : {:.3}", baseline.ipc());
     println!("RFP IPC      : {:.3}", rfp.ipc());
-    println!(
-        "speedup      : {}",
-        pct(rfp.ipc() / baseline.ipc() - 1.0)
-    );
+    println!("speedup      : {}", pct(rfp.ipc() / baseline.ipc() - 1.0));
     println!();
-    println!("prefetches injected : {} of loads", pct(rfp.injected_frac()));
+    println!(
+        "prefetches injected : {} of loads",
+        pct(rfp.injected_frac())
+    );
     println!("prefetches executed : {}", pct(rfp.executed_frac()));
     println!("prefetches useful   : {} (coverage)", pct(rfp.coverage()));
     println!("wrong addresses     : {}", pct(rfp.wrong_frac()));

@@ -33,15 +33,18 @@ fn main() {
     vp_cfg.vp = VpMode::Eves(ValuePredictorConfig::default());
     let vp = simulate_workload(&vp_cfg, &workload, len).expect("valid");
 
-    let rfp = simulate_workload(&CoreConfig::tiger_lake().with_rfp(), &workload, len)
-        .expect("valid");
+    let rfp =
+        simulate_workload(&CoreConfig::tiger_lake().with_rfp(), &workload, len).expect("valid");
 
     let mut both_cfg = CoreConfig::tiger_lake().with_rfp();
     both_cfg.vp = VpMode::Eves(ValuePredictorConfig::default());
     let both = simulate_workload(&both_cfg, &workload, len).expect("valid");
 
     println!("workload: {name}\n");
-    println!("{:<12} {:>8} {:>10} {:>12} {:>10}", "config", "IPC", "speedup", "VP coverage", "RFP cov.");
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>10}",
+        "config", "IPC", "speedup", "VP coverage", "RFP cov."
+    );
     let row = |label: &str, r: &rfp::stats::SimReport| {
         println!(
             "{label:<12} {:>8.3} {:>10} {:>12} {:>10}",

@@ -95,9 +95,7 @@ fn dedicated_ports_execute_at_least_as_many_prefetches() {
     let mut ded_cfg = CoreConfig::tiger_lake().with_rfp();
     ded_cfg.ports.dedicated_rfp = ded_cfg.ports.load_ports;
     let dedicated = run(&ded_cfg);
-    let ex = |rs: &[SimReport]| {
-        rs.iter().map(|r| r.executed_frac()).sum::<f64>() / rs.len() as f64
-    };
+    let ex = |rs: &[SimReport]| rs.iter().map(|r| r.executed_frac()).sum::<f64>() / rs.len() as f64;
     assert!(
         ex(&dedicated) >= ex(&shared) * 0.98,
         "dedicated {} vs shared {}",
@@ -127,7 +125,10 @@ fn wider_confidence_cuts_wrong_prefetches() {
     let wide = run(&wide_cfg);
     let wrong = |rs: &[SimReport]| rs.iter().map(|r| r.wrong_frac()).sum::<f64>();
     let cov = |rs: &[SimReport]| rs.iter().map(|r| r.coverage()).sum::<f64>();
-    assert!(wrong(&wide) <= wrong(&narrow) + 1e-9, "accuracy must improve");
+    assert!(
+        wrong(&wide) <= wrong(&narrow) + 1e-9,
+        "accuracy must improve"
+    );
     assert!(cov(&wide) <= cov(&narrow) + 1e-9, "coverage must drop");
 }
 

@@ -8,17 +8,17 @@ use rfp::trace::{AddrMix, GenParams, Program, TraceGen, ValueMix, WorkingSetMix}
 
 fn arb_params() -> impl Strategy<Value = GenParams> {
     (
-        2usize..8,            // blocks
-        4usize..16,           // block_min
-        0usize..12,           // block extra
-        0.05f64..0.35,        // load_frac
-        0.02f64..0.2,         // store_frac
-        0.0f64..0.5,          // fp_frac
-        0.0f64..0.6,          // early_addr
-        0.0f64..0.08,         // mispredict
-        proptest::bool::ANY,  // fp_chain
-        0.0f64..1.0,          // spine_frac
-        0.0f64..0.7,          // addr_from_spine
+        2usize..8,           // blocks
+        4usize..16,          // block_min
+        0usize..12,          // block extra
+        0.05f64..0.35,       // load_frac
+        0.02f64..0.2,        // store_frac
+        0.0f64..0.5,         // fp_frac
+        0.0f64..0.6,         // early_addr
+        0.0f64..0.08,        // mispredict
+        proptest::bool::ANY, // fp_chain
+        0.0f64..1.0,         // spine_frac
+        0.0f64..0.7,         // addr_from_spine
     )
         .prop_map(
             |(blocks, bmin, bextra, lf, sf, fp, early, mr, chain, spine, afs)| GenParams {

@@ -1,0 +1,206 @@
+//! Offline vendored shim of the `criterion` 0.5 API surface this
+//! workspace uses (the build container cannot reach crates.io; see
+//! `[patch.crates-io]` in the workspace manifest).
+//!
+//! It is a minimal-but-honest wall-clock harness: each benchmark body is
+//! warmed up, then timed over batches whose size doubles until a target
+//! measurement window is filled, and the mean ns/iter is printed. There
+//! are no statistical reports, plots, or saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum total measured time before a benchmark result is reported.
+const TARGET_WINDOW: Duration = Duration::from_millis(200);
+
+/// Warmup time discarded before measurement begins.
+const WARMUP_WINDOW: Duration = Duration::from_millis(50);
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its mean wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: run until the warmup window elapses.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            black_box(routine());
+        }
+
+        // Measure in doubling batches until the target window is filled.
+        let mut batch: u64 = 1;
+        let mut total_iters: u64 = 0;
+        let mut total_time = Duration::ZERO;
+        while total_time < TARGET_WINDOW {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_time += start.elapsed();
+            total_iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.ns_per_iter = total_time.as_nanos() as f64 / total_iters as f64;
+    }
+}
+
+/// Runs one named benchmark and prints its result.
+fn run_benchmark(name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { ns_per_iter: 0.0 };
+    f(&mut b);
+    let per_iter = b.ns_per_iter;
+    if per_iter >= 1_000_000.0 {
+        println!("{name:<55} {:>12.3} ms/iter", per_iter / 1_000_000.0);
+    } else if per_iter >= 1_000.0 {
+        println!("{name:<55} {:>12.3} us/iter", per_iter / 1_000.0);
+    } else {
+        println!("{name:<55} {per_iter:>12.1} ns/iter");
+    }
+}
+
+/// Top-level benchmark driver (shim: configuration-free).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's fixed measurement
+    /// window makes the upstream sample count meaningless here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (see [`Self::sample_size`]).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.id), f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench` (and possibly filters); the
+            // shim runs everything unconditionally.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+        assert_eq!(BenchmarkId::new("f", "x").id, "f/x");
+    }
+}

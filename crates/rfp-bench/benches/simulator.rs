@@ -11,7 +11,10 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rfp_bench::{default_threads, run_grid};
-use rfp_core::{simulate_workload, CalendarQueue, CoreConfig, OracleMode, VpMode};
+use rfp_core::{
+    simulate_workload, simulate_workload_probed, CalendarQueue, CoreConfig, OracleMode, VpMode,
+};
+use rfp_obs::{ChromeTraceSink, MetricsSink, NoopProbe};
 use rfp_predictors::{DlvpConfig, ValuePredictorConfig};
 
 const LEN: u64 = 8_000;
@@ -118,6 +121,45 @@ fn drive_heap(ops: u64) -> u64 {
     sum
 }
 
+/// The observability layer's cost contract: a `NoopProbe` run must match
+/// the plain `simulate_workload` path (the probe monomorphizes away), and
+/// the real sinks pay only for what they record.
+fn bench_probe_overhead(c: &mut Criterion) {
+    let workload = rfp_trace::by_name("spec17_mcf").expect("in suite");
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let mut g = c.benchmark_group("probe_overhead_8k_uops");
+    g.sample_size(10);
+    g.bench_function("uninstrumented", |b| {
+        b.iter(|| black_box(simulate_workload(&cfg, &workload, LEN).expect("valid")))
+    });
+    g.bench_function("noop_probe", |b| {
+        b.iter(|| {
+            black_box(simulate_workload_probed(&cfg, &workload, LEN, NoopProbe).expect("valid"))
+        })
+    });
+    g.bench_function("metrics_sink", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_workload_probed(&cfg, &workload, LEN, MetricsSink::new()).expect("valid"),
+            )
+        })
+    });
+    g.bench_function("chrome_trace_sink", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_workload_probed(
+                    &cfg,
+                    &workload,
+                    LEN,
+                    ChromeTraceSink::new(cfg.rob_entries),
+                )
+                .expect("valid"),
+            )
+        })
+    });
+    g.finish();
+}
+
 fn bench_event_queue(c: &mut Criterion) {
     assert_eq!(drive_calendar(10_000), drive_heap(10_000));
     let mut g = c.benchmark_group("event_queue_20k_events");
@@ -162,8 +204,37 @@ fn bench_engine_json(_c: &mut Criterion) {
     let uops = uops_of(&serial);
     assert_eq!(uops, uops_of(&parallel));
 
+    // Probe-overhead spot check: one-shot timings of the same workload
+    // with no probe, the noop probe, and the two real sinks.
+    let w = rfp_trace::by_name("spec17_mcf").expect("in suite");
+    let probe_len = 20_000u64;
+    let probe_cfg = CoreConfig::tiger_lake().with_rfp();
+    let time_run = |f: &dyn Fn()| {
+        let t = Instant::now();
+        f();
+        t.elapsed().as_secs_f64()
+    };
+    let plain_secs = time_run(&|| {
+        simulate_workload(&probe_cfg, &w, probe_len).expect("valid");
+    });
+    let noop_secs = time_run(&|| {
+        simulate_workload_probed(&probe_cfg, &w, probe_len, NoopProbe).expect("valid");
+    });
+    let metrics_secs = time_run(&|| {
+        simulate_workload_probed(&probe_cfg, &w, probe_len, MetricsSink::new()).expect("valid");
+    });
+    let chrome_secs = time_run(&|| {
+        simulate_workload_probed(
+            &probe_cfg,
+            &w,
+            probe_len,
+            ChromeTraceSink::new(probe_cfg.rob_entries),
+        )
+        .expect("valid");
+    });
+
     let json = format!(
-        "{{\n  \"event_queue\": {{\n    \"ops\": {OPS},\n    \"binary_heap_ns_per_op\": {:.2},\n    \"calendar_ns_per_op\": {:.2},\n    \"speedup\": {:.3}\n  }},\n  \"engine\": {{\n    \"workloads\": {},\n    \"measured_uops\": {uops},\n    \"threads\": {threads},\n    \"serial_uops_per_sec\": {:.0},\n    \"parallel_uops_per_sec\": {:.0},\n    \"parallel_speedup\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"event_queue\": {{\n    \"ops\": {OPS},\n    \"binary_heap_ns_per_op\": {:.2},\n    \"calendar_ns_per_op\": {:.2},\n    \"speedup\": {:.3}\n  }},\n  \"engine\": {{\n    \"workloads\": {},\n    \"measured_uops\": {uops},\n    \"threads\": {threads},\n    \"serial_uops_per_sec\": {:.0},\n    \"parallel_uops_per_sec\": {:.0},\n    \"parallel_speedup\": {:.3}\n  }},\n  \"probe\": {{\n    \"uops\": {probe_len},\n    \"uninstrumented_secs\": {plain_secs:.6},\n    \"noop_probe_secs\": {noop_secs:.6},\n    \"metrics_sink_secs\": {metrics_secs:.6},\n    \"chrome_trace_sink_secs\": {chrome_secs:.6}\n  }}\n}}\n",
         heap_ns / OPS as f64,
         cal_ns / OPS as f64,
         heap_ns / cal_ns,
@@ -181,6 +252,7 @@ criterion_group!(
     benches,
     bench_simulation,
     bench_sensitivity_kernels,
+    bench_probe_overhead,
     bench_event_queue,
     bench_engine_json
 );

@@ -5,39 +5,63 @@
 //! ```text
 //! cargo run --release -p rfp-bench --bin calibrate [len] [--threads N]
 //! ```
+//!
+//! Observability outputs (side files; stdout is unchanged):
+//! `--metrics-out FILE` writes the RFP row's per-workload latency
+//! histograms (JSON), `--trace-out DIR` (with `--trace-workload W`,
+//! default `spec17_mcf`) writes a Perfetto pipeline trace, and
+//! `--telemetry-out FILE` writes per-job engine telemetry (JSONL).
 
-use rfp_bench::{default_threads, run_grid};
+use rfp_bench::{
+    default_threads, metrics_reports_json, run_grid_full, telemetry_jsonl, trace_workload_json,
+};
 use rfp_core::{CoreConfig, OracleMode};
 use rfp_stats::{geomean_speedup, mean_frac};
+
+/// Removes `--flag value` from `args`, returning the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut threads = default_threads();
-    if let Some(i) = args.iter().position(|a| a == "--threads") {
-        if i + 1 >= args.len() {
-            eprintln!("--threads needs a value");
-            std::process::exit(2);
-        }
-        match args[i + 1].parse::<usize>() {
+    if let Some(v) = take_flag(&mut args, "--threads") {
+        match v.parse::<usize>() {
             Ok(n) if n >= 1 => threads = n,
             _ => {
-                eprintln!("--threads needs a positive integer, got {}", args[i + 1]);
+                eprintln!("--threads needs a positive integer, got {v}");
                 std::process::exit(2);
             }
         }
-        args.drain(i..=i + 1);
     }
+    let trace_out = take_flag(&mut args, "--trace-out");
+    let trace_workload =
+        take_flag(&mut args, "--trace-workload").unwrap_or_else(|| "spec17_mcf".to_string());
+    let metrics_out = take_flag(&mut args, "--metrics-out");
+    let telemetry_out = take_flag(&mut args, "--telemetry-out");
     let len: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(100_000);
     let t0 = std::time::Instant::now();
     // All four configurations go into one work-stealing grid so the
     // slowest (oracle) rows don't serialise behind the cheap baseline.
+    // Metrics sinks are attached only when histograms were asked for —
+    // the aggregates printed below come from the same counters either way.
+    let rfp_cfg = CoreConfig::tiger_lake().with_rfp();
     let configs = [
         CoreConfig::tiger_lake(),
-        CoreConfig::tiger_lake().with_rfp(),
+        rfp_cfg.clone(),
         CoreConfig::tiger_lake().with_oracle(OracleMode::L1ToRf),
         CoreConfig::tiger_lake().with_oracle(OracleMode::MemToLlc),
     ];
-    let mut rows = run_grid(&configs, len, threads).into_iter();
+    let outcome = run_grid_full(&configs, len, threads, metrics_out.is_some());
+    let mut rows = outcome.reports.into_iter();
     let (base, rfp, o_l1, o_mem) = (
         rows.next().expect("base row"),
         rows.next().expect("rfp row"),
@@ -51,6 +75,28 @@ fn main() {
         t0.elapsed().as_secs_f32()
     );
 
+    if let Some(file) = &metrics_out {
+        std::fs::write(file, metrics_reports_json(&rfp_cfg, len, &rfp))
+            .unwrap_or_else(|e| panic!("write {file}: {e}"));
+        eprintln!("wrote metrics histograms to {file}");
+    }
+    if let Some(dir) = &trace_out {
+        let w = rfp_trace::by_name(&trace_workload).unwrap_or_else(|| {
+            eprintln!("unknown --trace-workload '{trace_workload}'");
+            std::process::exit(2);
+        });
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("mkdir {dir}: {e}"));
+        let path = format!("{dir}/{}.trace.json", w.name);
+        std::fs::write(&path, trace_workload_json(&rfp_cfg, &w, len))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote pipeline trace to {path} (load in Perfetto or chrome://tracing)");
+    }
+    if let Some(file) = &telemetry_out {
+        std::fs::write(file, telemetry_jsonl(&outcome.telemetry))
+            .unwrap_or_else(|e| panic!("write {file}: {e}"));
+        eprintln!("wrote {} telemetry rows to {file}", outcome.telemetry.len());
+    }
+
     let gs = |n: &[rfp_stats::SimReport]| geomean_speedup(&base, n).unwrap_or(1.0);
     println!(
         "mean L1 hit      = {:.3} (paper 0.928)",
@@ -62,7 +108,7 @@ fn main() {
     );
     println!(
         "mean base IPC    = {:.3}",
-        base.iter().map(|r| r.ipc()).sum::<f64>() / base.len() as f64
+        base.iter().map(|r| r.ipc()).sum::<f64>() / base.len().max(1) as f64
     );
     println!("oracle L1->RF    = {:.4} (paper 1.090)", gs(&o_l1));
     println!("oracle Mem->LLC  = {:.4} (paper 1.133)", gs(&o_mem));

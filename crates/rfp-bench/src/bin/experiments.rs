@@ -5,37 +5,73 @@
 //! ```
 //!
 //! Ids: fig1 fig2 tab1 tab2 fig10 fig11 fig12 fig13 fig14 s522 fig15 fig16
-//! fig17 fig18 s552 s553 s554 s555 ext1 ext2, or `all`. Set `RFP_TRACE_LEN` to change
-//! the measured micro-ops per workload (default 120000). `--threads N`
-//! (or `RFP_THREADS`) sizes the work-stealing pool; the default is the
-//! machine's available parallelism. Output is byte-identical at any
-//! thread count.
+//! fig17 fig18 s552 s553 s554 s555 ext1 ext2, or `all`, plus the
+//! observability extra `timeliness` (not part of `all`). Set
+//! `RFP_TRACE_LEN` to change the measured micro-ops per workload (default
+//! 120000). `--threads N` (or `RFP_THREADS`) sizes the work-stealing pool;
+//! the default is the machine's available parallelism. Output is
+//! byte-identical at any thread count.
+//!
+//! Observability outputs (all side files; stdout stays byte-identical):
+//!
+//! - `--trace-out <dir>`: write a Perfetto/`chrome://tracing` pipeline +
+//!   prefetch-lifetime trace of one workload under the RFP config to
+//!   `<dir>/<workload>.trace.json`.
+//! - `--trace-workload <name>`: which workload to trace (default
+//!   `spec17_mcf`).
+//! - `--metrics-out <file>`: write per-workload latency histograms (JSON)
+//!   for the RFP config over the whole suite.
+//! - `--telemetry-out <file>`: write per-job engine telemetry (JSONL):
+//!   worker, queue depth at grab time, wall nanos.
 
-use rfp_bench::{default_threads, Harness, DEFAULT_TRACE_LEN};
+use rfp_bench::{
+    default_threads, metrics_suite_json, telemetry_jsonl, trace_workload_json, Harness,
+    DEFAULT_TRACE_LEN,
+};
+use rfp_core::CoreConfig;
+
+/// Removes `--flag value` from `args`, returning the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut threads = default_threads();
-    if let Some(i) = args.iter().position(|a| a == "--threads") {
-        if i + 1 >= args.len() {
-            eprintln!("--threads needs a value");
-            std::process::exit(2);
-        }
-        match args[i + 1].parse::<usize>() {
+    if let Some(v) = take_flag(&mut args, "--threads") {
+        match v.parse::<usize>() {
             Ok(n) if n >= 1 => threads = n,
             _ => {
-                eprintln!("--threads needs a positive integer, got {}", args[i + 1]);
+                eprintln!("--threads needs a positive integer, got {v}");
                 std::process::exit(2);
             }
         }
-        args.drain(i..=i + 1);
     }
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+    let trace_out = take_flag(&mut args, "--trace-out");
+    let trace_workload =
+        take_flag(&mut args, "--trace-workload").unwrap_or_else(|| "spec17_mcf".to_string());
+    let metrics_out = take_flag(&mut args, "--metrics-out");
+    let telemetry_out = take_flag(&mut args, "--telemetry-out");
+    let side_outputs = trace_out.is_some() || metrics_out.is_some() || telemetry_out.is_some();
+    if (args.is_empty() && !side_outputs) || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: experiments [--threads N] <id>... | all\n  ids: {}\n  env: RFP_TRACE_LEN=<uops> (default {DEFAULT_TRACE_LEN}), RFP_THREADS=<n>",
+            "usage: experiments [--threads N] [--trace-out DIR] [--trace-workload W] \
+             [--metrics-out FILE] [--telemetry-out FILE] <id>... | all\n  ids: {} timeliness\n  \
+             env: RFP_TRACE_LEN=<uops> (default {DEFAULT_TRACE_LEN}), RFP_THREADS=<n>",
             Harness::ALL_IDS.join(" ")
         );
-        std::process::exit(if args.is_empty() { 2 } else { 0 });
+        std::process::exit(if args.is_empty() && !side_outputs {
+            2
+        } else {
+            0
+        });
     }
     let len = std::env::var("RFP_TRACE_LEN")
         .ok()
@@ -46,7 +82,7 @@ fn main() {
     } else {
         let mut ids = Vec::new();
         for a in &args {
-            if Harness::ALL_IDS.contains(&a.as_str()) {
+            if Harness::ALL_IDS.contains(&a.as_str()) || a == "timeliness" {
                 ids.push(a.as_str());
             } else {
                 eprintln!("unknown experiment id: {a} (try --help)");
@@ -69,6 +105,30 @@ fn main() {
         println!("[{id}]");
         println!("{}", h.run(id));
     }
+
+    let rfp_cfg = CoreConfig::tiger_lake().with_rfp();
+    if let Some(file) = &metrics_out {
+        std::fs::write(file, metrics_suite_json(&rfp_cfg, len, threads))
+            .unwrap_or_else(|e| panic!("write {file}: {e}"));
+        eprintln!("wrote metrics histograms to {file}");
+    }
+    if let Some(dir) = &trace_out {
+        let w = rfp_trace::by_name(&trace_workload).unwrap_or_else(|| {
+            eprintln!("unknown --trace-workload '{trace_workload}'");
+            std::process::exit(2);
+        });
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("mkdir {dir}: {e}"));
+        let path = format!("{dir}/{}.trace.json", w.name);
+        std::fs::write(&path, trace_workload_json(&rfp_cfg, &w, len))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote pipeline trace to {path} (load in Perfetto or chrome://tracing)");
+    }
+    if let Some(file) = &telemetry_out {
+        std::fs::write(file, telemetry_jsonl(h.job_telemetry()))
+            .unwrap_or_else(|e| panic!("write {file}: {e}"));
+        eprintln!("wrote {} telemetry rows to {file}", h.job_telemetry().len());
+    }
+
     let (uops, sim_secs) = h.simulated_totals();
     let wall = t0.elapsed().as_secs_f64();
     eprintln!(

@@ -5,6 +5,13 @@
 //! ```text
 //! cargo run --release -p rfp-bench --bin workloads [name]
 //! ```
+//!
+//! With a workload name, `--trace-out DIR` additionally simulates it
+//! under the RFP configuration (`RFP_TRACE_LEN` micro-ops, default
+//! 120000) and writes a Perfetto/`chrome://tracing` pipeline +
+//! prefetch-lifetime trace to `DIR/<name>.trace.json`; `--metrics-out
+//! FILE` writes its latency histograms as JSON. The stdout description
+//! is unchanged.
 
 use rfp_stats::TextTable;
 use rfp_trace::{AddrPattern, StaticKind, WorkingSetClass, Workload};
@@ -50,6 +57,47 @@ fn describe(w: &Workload) {
     }
 }
 
+/// Removes `--flag value` from `args`, returning the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+/// Simulates `w` under the RFP config with both observability sinks
+/// attached and writes whichever outputs were requested.
+fn observe(w: &Workload, trace_out: Option<&str>, metrics_out: Option<&str>) {
+    use rfp_obs::{ChromeTraceSink, MetricsSink, TeeProbe};
+    let len = std::env::var("RFP_TRACE_LEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(rfp_bench::DEFAULT_TRACE_LEN);
+    let cfg = rfp_core::CoreConfig::tiger_lake().with_rfp();
+    let tee = TeeProbe::new(ChromeTraceSink::new(cfg.rob_entries), MetricsSink::new());
+    let (_report, tee) =
+        rfp_core::simulate_workload_probed(&cfg, w, len, tee).expect("valid config");
+    if let Some(dir) = trace_out {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("mkdir {dir}: {e}"));
+        let path = format!("{dir}/{}.trace.json", w.name);
+        std::fs::write(&path, tee.a.into_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote pipeline trace to {path} (load in Perfetto or chrome://tracing)");
+    }
+    if let Some(file) = metrics_out {
+        let json = format!(
+            "{{\"workload\":\"{}\",\"len\":{len},\"metrics\":{}}}\n",
+            rfp_types::json_escape(w.name),
+            tee.b.into_metrics().to_json()
+        );
+        std::fs::write(file, json).unwrap_or_else(|e| panic!("write {file}: {e}"));
+        eprintln!("wrote metrics histograms to {file}");
+    }
+}
+
 fn main() {
     // Accept `--threads N` for CLI symmetry with the other bins; this
     // tool only prints static suite metadata, so it's a documented no-op.
@@ -57,15 +105,26 @@ fn main() {
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         args.drain(i..(i + 2).min(args.len()));
     }
+    let trace_out = take_flag(&mut args, "--trace-out");
+    let metrics_out = take_flag(&mut args, "--metrics-out");
     if let Some(name) = args.first() {
         match rfp_trace::by_name(name) {
-            Some(w) => describe(&w),
+            Some(w) => {
+                describe(&w);
+                if trace_out.is_some() || metrics_out.is_some() {
+                    observe(&w, trace_out.as_deref(), metrics_out.as_deref());
+                }
+            }
             None => {
                 eprintln!("unknown workload '{name}'");
                 std::process::exit(2);
             }
         }
         return;
+    }
+    if trace_out.is_some() || metrics_out.is_some() {
+        eprintln!("--trace-out/--metrics-out need a workload name");
+        std::process::exit(2);
     }
     let mut t = TextTable::new(&[
         "workload",

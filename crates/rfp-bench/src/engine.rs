@@ -15,9 +15,12 @@
 //! `tests/parallel_determinism.rs`).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
-use rfp_core::{simulate_workload, CoreConfig};
+use rfp_core::{simulate_workload, simulate_workload_probed, CoreConfig};
+use rfp_obs::MetricsSink;
 use rfp_stats::SimReport;
+use rfp_types::json_escape;
 
 /// Worker-thread count to use when the caller doesn't override it:
 /// the `RFP_THREADS` environment variable if set, otherwise the
@@ -61,6 +64,42 @@ pub fn config_key(cfg: &CoreConfig) -> u64 {
     h
 }
 
+/// Per-job scheduling and wall-time telemetry from one grid run.
+///
+/// Everything here describes the *host-side* execution of a job —
+/// which worker ran it, how deep the unclaimed queue was when it was
+/// grabbed, how long it took — and is therefore host- and
+/// schedule-dependent. It is deliberately kept out of [`SimReport`]
+/// so the simulated results stay byte-deterministic; telemetry is a
+/// side channel for engine tuning (see `--telemetry-out`).
+#[derive(Debug, Clone)]
+pub struct JobTelemetry {
+    /// Grid position (`config_index * n_workloads + workload_index`).
+    pub job: usize,
+    /// Index of the configuration within the grid's config list.
+    pub config: usize,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Worker thread (0-based) that claimed the job.
+    pub worker: usize,
+    /// Jobs not yet claimed at grab time, this one included — a proxy
+    /// for how much stealing headroom remained.
+    pub queue_depth: usize,
+    /// Host wall time the simulation took.
+    pub wall_nanos: u64,
+}
+
+/// Everything one work-stealing grid run produces: the suite-ordered
+/// reports (as [`run_grid`]) plus per-job telemetry sorted by grid
+/// position.
+#[derive(Debug)]
+pub struct GridOutcome {
+    /// One suite-ordered report vector per config, in config order.
+    pub reports: Vec<Vec<SimReport>>,
+    /// Per-job host telemetry, sorted by grid position.
+    pub telemetry: Vec<JobTelemetry>,
+}
+
 /// Simulates the whole workload suite under every config in `configs`
 /// on `threads` work-stealing workers, returning one suite-ordered
 /// report vector per config (in `configs` order).
@@ -74,18 +113,52 @@ pub fn config_key(cfg: &CoreConfig) -> u64 {
 ///
 /// Panics if a config is invalid or a worker thread panics.
 pub fn run_grid(configs: &[CoreConfig], len: u64, threads: usize) -> Vec<Vec<SimReport>> {
+    run_grid_full(configs, len, threads, false).reports
+}
+
+/// [`run_grid`] with a `MetricsSink` attached to every simulation: each
+/// returned report carries `obs` latency histograms covering its
+/// measured window.
+///
+/// The histograms are per-job and land in slots keyed by grid position,
+/// so — like the plain reports — they are byte-identical at any thread
+/// count (see `tests/parallel_determinism.rs`).
+///
+/// # Panics
+///
+/// Panics if a config is invalid or a worker thread panics.
+pub fn run_grid_obs(configs: &[CoreConfig], len: u64, threads: usize) -> Vec<Vec<SimReport>> {
+    run_grid_full(configs, len, threads, true).reports
+}
+
+/// The full-fat grid runner behind [`run_grid`] and [`run_grid_obs`]:
+/// optionally instruments every simulation with a metrics sink
+/// (`collect_obs`) and always returns per-job host telemetry.
+///
+/// # Panics
+///
+/// Panics if a config is invalid or a worker thread panics.
+pub fn run_grid_full(
+    configs: &[CoreConfig],
+    len: u64,
+    threads: usize,
+    collect_obs: bool,
+) -> GridOutcome {
     let suite = rfp_trace::suite();
     let n_workloads = suite.len();
     let n_jobs = configs.len() * n_workloads;
     if n_jobs == 0 {
-        return configs.iter().map(|_| Vec::new()).collect();
+        return GridOutcome {
+            reports: configs.iter().map(|_| Vec::new()).collect(),
+            telemetry: Vec::new(),
+        };
     }
     let threads = threads.clamp(1, n_jobs);
     let next = AtomicUsize::new(0);
 
-    let per_worker: Vec<Vec<(usize, SimReport)>> = std::thread::scope(|s| {
+    let per_worker: Vec<Vec<(SimReport, JobTelemetry)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|worker| {
                 let next = &next;
                 let suite = &suite;
                 s.spawn(move || {
@@ -96,9 +169,31 @@ pub fn run_grid(configs: &[CoreConfig], len: u64, threads: usize) -> Vec<Vec<Sim
                             break;
                         }
                         let (ci, wi) = (job / n_workloads, job % n_workloads);
-                        let report =
-                            simulate_workload(&configs[ci], &suite[wi], len).expect("valid config");
-                        done.push((job, report));
+                        let t0 = Instant::now();
+                        let report = if collect_obs {
+                            let (mut report, sink) = simulate_workload_probed(
+                                &configs[ci],
+                                &suite[wi],
+                                len,
+                                MetricsSink::new(),
+                            )
+                            .expect("valid config");
+                            report.obs = Some(Box::new(sink.into_metrics()));
+                            report
+                        } else {
+                            simulate_workload(&configs[ci], &suite[wi], len).expect("valid config")
+                        };
+                        done.push((
+                            report,
+                            JobTelemetry {
+                                job,
+                                config: ci,
+                                workload: suite[wi].name,
+                                worker,
+                                queue_depth: n_jobs - job,
+                                wall_nanos: t0.elapsed().as_nanos() as u64,
+                            },
+                        ));
                     }
                     done
                 })
@@ -112,12 +207,15 @@ pub fn run_grid(configs: &[CoreConfig], len: u64, threads: usize) -> Vec<Vec<Sim
 
     // Order-stable reduction: each job index is produced exactly once.
     let mut slots: Vec<Option<SimReport>> = vec![None; n_jobs];
-    for (job, report) in per_worker.into_iter().flatten() {
-        debug_assert!(slots[job].is_none(), "job {job} produced twice");
-        slots[job] = Some(report);
+    let mut telemetry = Vec::with_capacity(n_jobs);
+    for (report, tel) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[tel.job].is_none(), "job {} produced twice", tel.job);
+        slots[tel.job] = Some(report);
+        telemetry.push(tel);
     }
+    telemetry.sort_by_key(|t| t.job);
     let mut slots = slots.into_iter();
-    configs
+    let reports = configs
         .iter()
         .map(|_| {
             (&mut slots)
@@ -125,7 +223,30 @@ pub fn run_grid(configs: &[CoreConfig], len: u64, threads: usize) -> Vec<Vec<Sim
                 .map(|r| r.expect("every job ran"))
                 .collect()
         })
-        .collect()
+        .collect();
+    GridOutcome { reports, telemetry }
+}
+
+/// Renders job telemetry as JSONL (one object per line), ready for
+/// `--telemetry-out` or ad-hoc analysis with `jq`.
+pub fn telemetry_jsonl(telemetry: &[JobTelemetry]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for t in telemetry {
+        writeln!(
+            out,
+            "{{\"job\":{},\"config\":{},\"workload\":\"{}\",\"worker\":{},\
+             \"queue_depth\":{},\"wall_nanos\":{}}}",
+            t.job,
+            t.config,
+            json_escape(t.workload),
+            t.worker,
+            t.queue_depth,
+            t.wall_nanos
+        )
+        .expect("write to String");
+    }
+    out
 }
 
 #[cfg(test)]
@@ -171,5 +292,60 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn full_grid_reports_one_telemetry_row_per_job() {
+        let configs = [CoreConfig::tiger_lake()];
+        let out = run_grid_full(&configs, 300, 3, false);
+        let n = rfp_trace::suite().len();
+        assert_eq!(out.telemetry.len(), n);
+        for (i, t) in out.telemetry.iter().enumerate() {
+            assert_eq!(t.job, i, "telemetry sorted by grid position");
+            assert_eq!(t.config, 0);
+            assert_eq!(t.queue_depth, n - i);
+            assert!(t.worker < 3);
+        }
+        // Plain runs carry no obs payload.
+        assert!(out.reports[0].iter().all(|r| r.obs.is_none()));
+    }
+
+    #[test]
+    fn obs_grid_attaches_metrics_without_changing_stats() {
+        let configs = [CoreConfig::tiger_lake().with_rfp()];
+        let plain = run_grid(&configs, 400, 2);
+        let obs = run_grid_obs(&configs, 400, 2);
+        for (p, o) in plain[0].iter().zip(&obs[0]) {
+            assert_eq!(
+                p.stats, o.stats,
+                "{}: probing changed the simulation",
+                p.workload
+            );
+            let m = o.obs.as_ref().expect("obs attached");
+            assert_eq!(
+                m.rfp_complete_rel_issue.total(),
+                o.stats.rfp_useful,
+                "{}: one timeliness sample per useful prefetch",
+                o.workload
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_jsonl_is_line_per_job_json() {
+        let rows = [JobTelemetry {
+            job: 3,
+            config: 1,
+            workload: "w\"x",
+            worker: 0,
+            queue_depth: 7,
+            wall_nanos: 42,
+        }];
+        let s = telemetry_jsonl(&rows);
+        assert_eq!(
+            s,
+            "{\"job\":3,\"config\":1,\"workload\":\"w\\\"x\",\"worker\":0,\
+             \"queue_depth\":7,\"wall_nanos\":42}\n"
+        );
     }
 }

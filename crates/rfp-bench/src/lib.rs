@@ -24,10 +24,14 @@ use std::collections::{HashMap, HashSet};
 
 use rfp_core::{CoreConfig, OracleMode, VpMode};
 use rfp_predictors::{storage_table, DlvpConfig, PrefetchTableConfig, ValuePredictorConfig};
-use rfp_stats::{geomean_speedup, mean_frac, pct, SimReport, TextTable};
+use rfp_stats::{geomean_speedup, mean_frac, pct, Log2Histogram, ObsMetrics, SimReport, TextTable};
 use rfp_trace::Category;
+use rfp_types::json_escape;
 
-pub use engine::{config_key, default_threads, run_grid};
+pub use engine::{
+    config_key, default_threads, run_grid, run_grid_full, run_grid_obs, telemetry_jsonl,
+    GridOutcome, JobTelemetry,
+};
 
 /// Default measured trace length per workload (after an equal warmup).
 pub const DEFAULT_TRACE_LEN: u64 = 120_000;
@@ -61,6 +65,11 @@ pub struct Harness {
     len: u64,
     threads: usize,
     cache: HashMap<u64, Vec<SimReport>>,
+    /// Obs-instrumented runs live in their own cache: an instrumented
+    /// report is *not* byte-identical to a plain one (its canonical text
+    /// carries the histograms), so the two kinds must never alias.
+    obs_cache: HashMap<u64, Vec<SimReport>>,
+    telemetry: Vec<JobTelemetry>,
 }
 
 impl std::fmt::Debug for Harness {
@@ -69,6 +78,7 @@ impl std::fmt::Debug for Harness {
             .field("len", &self.len)
             .field("threads", &self.threads)
             .field("cached_runs", &self.cache.len())
+            .field("cached_obs_runs", &self.obs_cache.len())
             .finish()
     }
 }
@@ -86,7 +96,16 @@ impl Harness {
             len,
             threads: threads.max(1),
             cache: HashMap::new(),
+            obs_cache: HashMap::new(),
+            telemetry: Vec::new(),
         }
+    }
+
+    /// Per-job host telemetry (worker, queue depth, wall time) from every
+    /// grid this harness has run, in the order the grids ran. Render with
+    /// [`telemetry_jsonl`] for `--telemetry-out`.
+    pub fn job_telemetry(&self) -> &[JobTelemetry] {
+        &self.telemetry
     }
 
     /// All experiment ids in paper order, plus the `ext*` extension
@@ -123,6 +142,9 @@ impl Harness {
             "s555" => self.s555(),
             "ext1" => self.ext1(),
             "ext2" => self.ext2(),
+            // Observability extra: not part of `ALL_IDS` (and so of `all`),
+            // because its instrumented runs don't share the plain cache.
+            "timeliness" => self.timeliness(),
             other => panic!("unknown experiment id: {other}"),
         }
     }
@@ -148,8 +170,9 @@ impl Harness {
         if pending.is_empty() {
             return;
         }
-        let results = run_grid(&pending, self.len, self.threads);
-        for (cfg, reports) in pending.iter().zip(results) {
+        let outcome = run_grid_full(&pending, self.len, self.threads, false);
+        self.telemetry.extend(outcome.telemetry);
+        for (cfg, reports) in pending.iter().zip(outcome.reports) {
             self.cache.insert(config_key(cfg), reports);
         }
     }
@@ -259,7 +282,7 @@ impl Harness {
     pub fn simulated_totals(&self) -> (u64, f64) {
         let mut uops = 0u64;
         let mut secs = 0f64;
-        for r in self.cache.values().flatten() {
+        for r in self.cache.values().chain(self.obs_cache.values()).flatten() {
             uops += r.stats.total_retired_uops;
             secs += r.wall_seconds();
         }
@@ -272,10 +295,27 @@ impl Harness {
     fn suite_for(&mut self, _label: &str, cfg: &CoreConfig) -> &[SimReport] {
         let key = config_key(cfg);
         if !self.cache.contains_key(&key) {
-            let reports = run_suite_with_threads(cfg, self.len, self.threads);
+            let mut outcome =
+                run_grid_full(std::slice::from_ref(cfg), self.len, self.threads, false);
+            self.telemetry.extend(outcome.telemetry);
+            let reports = outcome.reports.pop().expect("one config in, one row out");
             self.cache.insert(key, reports);
         }
         &self.cache[&key]
+    }
+
+    /// Like [`Self::suite_for`] but with a `MetricsSink` attached to every
+    /// simulation, cached separately (see the `obs_cache` field note).
+    fn obs_suite_for(&mut self, _label: &str, cfg: &CoreConfig) -> &[SimReport] {
+        let key = config_key(cfg);
+        if !self.obs_cache.contains_key(&key) {
+            let mut outcome =
+                run_grid_full(std::slice::from_ref(cfg), self.len, self.threads, true);
+            self.telemetry.extend(outcome.telemetry);
+            let reports = outcome.reports.pop().expect("one config in, one row out");
+            self.obs_cache.insert(key, reports);
+        }
+        &self.obs_cache[&key]
     }
 
     fn baseline(&mut self) -> Vec<SimReport> {
@@ -972,7 +1012,13 @@ impl Harness {
         let gr = self.suite_for("rfp-gshare", &grfp).to_vec();
 
         let mut t = TextTable::new(&["front-end model", "RFP speedup", "baseline IPC (mean)"]);
-        let mean_ipc = |rs: &[SimReport]| rs.iter().map(|r| r.ipc()).sum::<f64>() / rs.len() as f64;
+        let mean_ipc = |rs: &[SimReport]| {
+            if rs.is_empty() {
+                0.0
+            } else {
+                rs.iter().map(|r| r.ipc()).sum::<f64>() / rs.len() as f64
+            }
+        };
         t.row(&[
             "trace-oracle mispredicts",
             &pct(geomean_speedup(&base, &rfp).unwrap_or(1.0) - 1.0),
@@ -989,6 +1035,198 @@ impl Harness {
             t.render()
         )
     }
+}
+
+impl Harness {
+    /// Observability report (`experiments timeliness`): *when* prefetched
+    /// data actually arrives, from per-prefetch lifetime histograms.
+    ///
+    /// The counters behind Fig. 13/14 and §5.2.2 say how many prefetches
+    /// were useful or fully hidden; the histograms collected by the
+    /// metrics sink say how early or late each one completed relative to
+    /// its load's issue, how long packets waited for an L1 port, and why
+    /// the rest died. Shared vs dedicated L1 ports (the Fig. 14 axis)
+    /// shows how bandwidth shifts the whole distribution.
+    pub fn timeliness(&mut self) -> String {
+        let shared = self.obs_suite_for("rfp-obs", &CoreConfig::tiger_lake().with_rfp());
+        let sh = Self::merged_obs(shared);
+        let mut dedicated_cfg = CoreConfig::tiger_lake().with_rfp();
+        dedicated_cfg.ports.dedicated_rfp = dedicated_cfg.ports.load_ports;
+        let dedicated = self.obs_suite_for("rfp-dedicated-obs", &dedicated_cfg);
+        let de = Self::merged_obs(dedicated);
+
+        let frac = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        let mut t = TextTable::new(&[
+            "L1 ports for RFP",
+            "useful",
+            "fully hidden",
+            "late <=16cy",
+            "late >16cy",
+            "median queue wait",
+        ]);
+        for (label, m) in [
+            ("shared (lowest priority)", &sh),
+            ("dedicated (doubled)", &de),
+        ] {
+            let total = m.rfp_complete_rel_issue.total();
+            let hidden = m.rfp_complete_rel_issue.count_le(1);
+            let near = m.rfp_complete_rel_issue.count_le(16) - hidden;
+            t.row(&[
+                label,
+                &total.to_string(),
+                &pct(frac(hidden, total)),
+                &pct(frac(near, total)),
+                &pct(frac(total - hidden - near, total)),
+                &format!("{} cy", Self::median_bucket_label(&m.rfp_queue_wait)),
+            ]);
+        }
+
+        let mut d = TextTable::new(&[
+            "drop reason",
+            "shared",
+            "share",
+            "dedicated",
+            "share (dedicated)",
+        ]);
+        let sh_drops = sh.drops_by_reason();
+        let de_drops = de.drops_by_reason();
+        let sh_total: u64 = sh_drops.iter().sum();
+        let de_total: u64 = de_drops.iter().sum();
+        let reasons = [
+            "load-first",
+            "tlb-miss",
+            "queue-full",
+            "l1-miss",
+            "squashed",
+        ];
+        for (i, reason) in reasons.iter().enumerate() {
+            d.row(&[
+                reason,
+                &sh_drops[i].to_string(),
+                &pct(frac(sh_drops[i], sh_total)),
+                &de_drops[i].to_string(),
+                &pct(frac(de_drops[i], de_total)),
+            ]);
+        }
+
+        let mut h = TextTable::new(&["completion - load issue", "prefetches", "share"]);
+        let rel = &sh.rfp_complete_rel_issue;
+        let rel_total = rel.total();
+        if rel.neg.total() > 0 {
+            h.row(&[
+                "early (before issue)",
+                &rel.neg.total().to_string(),
+                &pct(frac(rel.neg.total(), rel_total)),
+            ]);
+        }
+        for (k, &count) in rel.nonneg.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let (lo, hi) = Log2Histogram::bucket_range(k);
+            let label = if hi == u64::MAX {
+                format!(">= {lo} cycles after issue")
+            } else if hi - lo <= 1 {
+                format!("{lo} cycles after issue")
+            } else {
+                format!("{lo}-{} cycles after issue", hi - 1)
+            };
+            h.row(&[&label, &count.to_string(), &pct(frac(count, rel_total))]);
+        }
+
+        format!(
+            "Timeliness (observability): per-prefetch completion relative to load issue\n\
+             (fully hidden = complete <= issue + 1, the paper's 34.2% class in §5.2.2;\n\
+             histograms from the rfp-obs metrics sink, aggregated over all 65 workloads)\n\n\
+             {}\nRFP drop funnel (every injected packet lands in exactly one bucket):\n\n{}\n\
+             Completion distribution, shared ports:\n\n{}",
+            t.render(),
+            d.render(),
+            h.render()
+        )
+    }
+
+    /// Merges the per-workload metrics of an obs-instrumented suite run
+    /// into one aggregate (commutative, so order doesn't matter).
+    fn merged_obs(reports: &[SimReport]) -> ObsMetrics {
+        let mut m = ObsMetrics::default();
+        for r in reports {
+            m.merge(r.obs.as_ref().expect("obs-instrumented run"));
+        }
+        m
+    }
+
+    /// Lower bound of the bucket holding the median sample — a cheap,
+    /// deterministic "typical value" label for a log2 histogram.
+    fn median_bucket_label(h: &Log2Histogram) -> String {
+        let total = h.total();
+        if total == 0 {
+            return "-".to_string();
+        }
+        let mut seen = 0u64;
+        for (k, &c) in h.buckets.iter().enumerate() {
+            seen += c;
+            if seen * 2 >= total {
+                return Log2Histogram::bucket_range(k).0.to_string();
+            }
+        }
+        unreachable!("total > 0 implies a median bucket")
+    }
+}
+
+/// Simulates `workload` under `cfg` with a Chrome-trace sink attached and
+/// returns the Perfetto/`chrome://tracing`-loadable JSON document: one
+/// timeline lane set for the retired pipeline, one for prefetch lifetime
+/// spans (inject → register-file writeback), one for L1-port denials.
+pub fn trace_workload_json(cfg: &CoreConfig, workload: &rfp_trace::Workload, len: u64) -> String {
+    let sink = rfp_obs::ChromeTraceSink::new(cfg.rob_entries);
+    let (_report, sink) =
+        rfp_core::simulate_workload_probed(cfg, workload, len, sink).expect("valid config");
+    sink.into_json()
+}
+
+/// Renders the per-workload latency histograms of obs-instrumented
+/// `reports` (one suite row, as produced by [`run_grid_obs`]) as a JSON
+/// document, plus their order-independent aggregate.
+///
+/// # Panics
+///
+/// Panics if a report carries no `obs` payload.
+pub fn metrics_reports_json(cfg: &CoreConfig, len: u64, reports: &[SimReport]) -> String {
+    let mut agg = ObsMetrics::default();
+    let mut rows = Vec::with_capacity(reports.len());
+    for r in reports {
+        let m = r.obs.as_ref().expect("obs-instrumented run");
+        agg.merge(m);
+        rows.push(format!(
+            "{{\"workload\":\"{}\",\"category\":\"{}\",\"metrics\":{}}}",
+            json_escape(&r.workload),
+            json_escape(&r.category),
+            m.to_json()
+        ));
+    }
+    format!(
+        "{{\"config_key\":\"{:016x}\",\"len\":{len},\"aggregate\":{},\"workloads\":[{}]}}\n",
+        config_key(cfg),
+        agg.to_json(),
+        rows.join(",")
+    )
+}
+
+/// Runs the whole suite under `cfg` with metrics sinks attached and
+/// returns the [`metrics_reports_json`] document (the `--metrics-out`
+/// payload).
+pub fn metrics_suite_json(cfg: &CoreConfig, len: u64, threads: usize) -> String {
+    let reports = run_grid_obs(std::slice::from_ref(cfg), len, threads)
+        .pop()
+        .expect("one config in, one row out");
+    metrics_reports_json(cfg, len, &reports)
 }
 
 #[cfg(test)]
@@ -1028,6 +1266,34 @@ mod tests {
             }
         }
         assert!(Harness::plan("nonsense").is_empty());
+    }
+
+    #[test]
+    fn timeliness_is_an_extra_outside_all() {
+        // `all` must stay byte-identical to pre-observability builds, so
+        // the timeliness report dispatches by name without joining the
+        // canonical id list.
+        assert!(!Harness::ALL_IDS.contains(&"timeliness"));
+        let mut h = Harness::with_threads(1_000, 2);
+        let s = h.run("timeliness");
+        assert!(s.contains("fully hidden"));
+        assert!(s.contains("queue-full"));
+        assert!(s.contains("Completion distribution"));
+        // Instrumented runs never pollute the plain cache (their canonical
+        // text differs), and every grid leaves telemetry behind.
+        assert_eq!(h.cache.len(), 0);
+        assert_eq!(h.obs_cache.len(), 2);
+        assert!(!h.job_telemetry().is_empty());
+    }
+
+    #[test]
+    fn metrics_suite_json_parses_shapewise() {
+        let cfg = CoreConfig::tiger_lake().with_rfp();
+        let json = metrics_suite_json(&cfg, 600, 2);
+        assert!(json.starts_with("{\"config_key\":\""));
+        assert!(json.contains("\"aggregate\":{\"load_use_latency\":["));
+        assert!(json.contains("\"workload\":\"spec17_mcf\""));
+        assert!(json.ends_with("]}\n"));
     }
 
     #[test]

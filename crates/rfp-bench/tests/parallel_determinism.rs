@@ -2,9 +2,9 @@
 //! the suite on any number of threads yields *byte-identical* reports,
 //! in the same order, as a plain serial loop over the suite.
 
-use rfp_bench::{run_grid, run_suite_with_threads};
+use rfp_bench::{run_grid, run_grid_obs, run_suite_with_threads};
 use rfp_core::{simulate_workload, CoreConfig};
-use rfp_stats::SimReport;
+use rfp_stats::{ObsMetrics, SimReport};
 
 const LEN: u64 = 3_000;
 
@@ -39,6 +39,78 @@ fn run_suite_is_byte_identical_at_any_thread_count() {
             canonical_bytes(&got),
             reference_bytes,
             "threads={threads} canonical bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn obs_runs_are_byte_identical_at_any_thread_count() {
+    // The instrumented grid must be as deterministic as the plain one:
+    // histograms are per-job state, reduced into slots by grid position,
+    // so canonical bytes (which include the obs JSON) cannot depend on
+    // the thread count or on which worker ran which job.
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let reference = run_grid_obs(std::slice::from_ref(&cfg), LEN, 1)
+        .pop()
+        .expect("one row");
+    assert!(reference.iter().all(|r| r.obs.is_some()));
+    assert!(
+        reference.iter().any(|r| r
+            .obs
+            .as_ref()
+            .is_some_and(|m| m.rfp_complete_rel_issue.total() > 0)),
+        "the suite must produce timeliness samples"
+    );
+    let reference_bytes = canonical_bytes(&reference);
+    for threads in [2, 5, 8] {
+        let got = run_grid_obs(std::slice::from_ref(&cfg), LEN, threads)
+            .pop()
+            .expect("one row");
+        assert_eq!(
+            canonical_bytes(&got),
+            reference_bytes,
+            "threads={threads} obs canonical bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn merged_histograms_are_order_independent() {
+    // Aggregating per-workload sinks must give byte-identical JSON no
+    // matter the merge order — the property the work-stealing engine
+    // relies on when per-thread results interleave arbitrarily.
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let reports = run_grid_obs(std::slice::from_ref(&cfg), LEN, 4)
+        .pop()
+        .expect("one row");
+    let mut forward = ObsMetrics::default();
+    for r in &reports {
+        forward.merge(r.obs.as_ref().expect("obs attached"));
+    }
+    let mut reverse = ObsMetrics::default();
+    for r in reports.iter().rev() {
+        reverse.merge(r.obs.as_ref().expect("obs attached"));
+    }
+    assert!(forward.load_use_latency.total() > 0);
+    assert_eq!(forward.to_json(), reverse.to_json());
+}
+
+#[test]
+fn obs_instrumentation_does_not_perturb_the_simulation() {
+    // Same grid with and without sinks: every deterministic counter must
+    // match exactly (the probe is observation, never back-pressure).
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let plain = run_grid(std::slice::from_ref(&cfg), LEN, 4)
+        .pop()
+        .expect("one row");
+    let probed = run_grid_obs(std::slice::from_ref(&cfg), LEN, 4)
+        .pop()
+        .expect("one row");
+    for (p, o) in plain.iter().zip(&probed) {
+        assert_eq!(
+            p.stats, o.stats,
+            "{} diverged under instrumentation",
+            p.workload
         );
     }
 }

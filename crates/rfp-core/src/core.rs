@@ -30,6 +30,7 @@ use std::time::Instant;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rfp_mem::{HitLevel, LoadPorts, MemoryHierarchy, PortClient};
+use rfp_obs::{DropReason, FlushKind, NoopProbe, Probe, ProbeEvent, UopClass};
 use rfp_predictors::{
     ContextPrefetcher, CriticalityTable, Dlvp, Gshare, HitMissPredictor, IpStridePrefetcher,
     PathHistory, PrefetchTable, PtDecision, StoreSets, ValuePredictor,
@@ -63,6 +64,18 @@ struct RfpPacket {
     seq: SeqNum,
     gen: u32,
     addr: Addr,
+    /// Cycle the packet entered the queue (queue-wait telemetry).
+    injected_at: Cycle,
+}
+
+fn uop_class(kind: UopKind) -> UopClass {
+    match kind {
+        UopKind::Load => UopClass::Load,
+        UopKind::Store => UopClass::Store,
+        UopKind::Branch { .. } => UopClass::Branch,
+        UopKind::Alu { .. } => UopClass::Alu,
+        UopKind::Fp { .. } => UopClass::Fp,
+    }
 }
 
 /// Outcome of the LSQ scan for a load (or an RFP request acting for one).
@@ -78,8 +91,15 @@ enum StoreScan {
 }
 
 /// The core simulator. Drive it with [`Core::run`].
-pub struct Core {
+///
+/// Generic over a [`Probe`] observability sink; the default
+/// [`NoopProbe`] monomorphizes every instrumentation site away (each is
+/// guarded by the `P::ENABLED` associated constant), so an unprobed core
+/// pays nothing for the instrumentation. Build a probed core with
+/// [`Core::with_probe`].
+pub struct Core<P: Probe = NoopProbe> {
     cfg: CoreConfig,
+    probe: P,
     cycle: Cycle,
     next_seq: u64,
     rob: VecDeque<DynInst>,
@@ -137,7 +157,7 @@ pub struct Core {
     cycle_offset: Cycle,
 }
 
-impl std::fmt::Debug for Core {
+impl<P: Probe> std::fmt::Debug for Core<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Core")
             .field("cycle", &self.cycle)
@@ -147,13 +167,24 @@ impl std::fmt::Debug for Core {
     }
 }
 
-impl Core {
+impl Core<NoopProbe> {
     /// Builds a core from a validated configuration.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] when the configuration is invalid.
     pub fn new(cfg: CoreConfig) -> Result<Self, ConfigError> {
+        Core::with_probe(cfg, NoopProbe)
+    }
+}
+
+impl<P: Probe> Core<P> {
+    /// Builds a core whose instrumentation sites report to `probe`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the configuration is invalid.
+    pub fn with_probe(cfg: CoreConfig, probe: P) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let phys = cfg.phys_regs();
         let mut rename_map = [PhysReg::new(0); 64];
@@ -226,6 +257,7 @@ impl Core {
             warmup_done: true,
             cycle_offset: 0,
             cfg,
+            probe,
         })
     }
 
@@ -249,10 +281,25 @@ impl Core {
     ///
     /// Panics on a pipeline deadlock (a simulator bug).
     pub fn run_with_warmup(
-        mut self,
+        self,
         trace: impl IntoIterator<Item = MicroOp>,
         warmup: u64,
     ) -> CoreStats {
+        self.run_with_warmup_probed(trace, warmup).0
+    }
+
+    /// [`Core::run_with_warmup`], but also returning the probe so sinks
+    /// ([`rfp_obs::MetricsSink`], [`rfp_obs::ChromeTraceSink`]) can be
+    /// drained after the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a pipeline deadlock (a simulator bug).
+    pub fn run_with_warmup_probed(
+        mut self,
+        trace: impl IntoIterator<Item = MicroOp>,
+        warmup: u64,
+    ) -> (CoreStats, P) {
         self.warmup_uops = warmup;
         self.warmup_done = warmup == 0;
         let wall_start = Instant::now();
@@ -278,11 +325,21 @@ impl Core {
         self.stats.cycles = self.cycle - self.cycle_offset;
         self.stats.mem_hit_counts = self.mem.hit_counts();
         self.stats.tlb_walks = self.mem.tlb_counters().2;
+        // Every injected prefetch must land in exactly one terminal funnel
+        // bucket. A warmup reset zeroes counters mid-flight, so the
+        // equation only holds for warmup-free runs (the ROB has drained by
+        // here, so nothing is legitimately still in flight).
+        debug_assert!(
+            warmup != 0 || self.stats.funnel_consistent(),
+            "RFP funnel leak: injected={} terminal={}",
+            self.stats.rfp_injected,
+            self.stats.rfp_terminal_total(),
+        );
         // Host-side throughput: measured over the whole run (warmup
         // included) so it reflects the simulator's real speed.
         self.stats.total_cycles = self.cycle;
         self.stats.throughput.host_nanos = wall_start.elapsed().as_nanos() as u64;
-        self.stats
+        (self.stats, self.probe)
     }
 
     // ----- helpers ---------------------------------------------------------
@@ -396,6 +453,15 @@ impl Core {
     /// repaired with its true completion time.
     fn value_flush(&mut self, load_seq: SeqNum) {
         self.stats.vp_flushes += 1;
+        if P::ENABLED {
+            self.probe.emit(
+                self.cycle,
+                ProbeEvent::Flush {
+                    seq: load_seq,
+                    kind: FlushKind::ValueMispredict,
+                },
+            );
+        }
         let penalty_end = self.cycle + self.cfg.vp_flush_penalty;
         self.dispatch_blocked_until = self.dispatch_blocked_until.max(penalty_end);
         // Repair the load's destination: data is correct now (validation
@@ -414,15 +480,33 @@ impl Core {
 
     /// Squash execution (not allocation) of everything younger than `seq`.
     fn squash_younger(&mut self, seq: SeqNum, not_before: Cycle) {
+        let now = self.cycle;
         let start = (seq.raw() + 1).saturating_sub(self.rob_base) as usize;
         let mut dsts = std::mem::take(&mut self.scratch_pregs);
         dsts.clear();
+        let mut squashed_rfp = 0u64;
         for inst in self.rob.iter_mut().skip(start) {
+            // A live packet dies with its squashed load: account for it
+            // here, *before* squash_execution folds it into Dropped, so
+            // the injection funnel stays balanced.
+            if inst.rfp.is_queued() || inst.rfp.is_inflight() {
+                squashed_rfp += 1;
+                if P::ENABLED {
+                    self.probe.emit(
+                        now,
+                        ProbeEvent::RfpDrop {
+                            seq: inst.seq,
+                            reason: DropReason::Squashed,
+                        },
+                    );
+                }
+            }
             inst.squash_execution(not_before);
             if let Some(d) = inst.dst_phys {
                 dsts.push(d);
             }
         }
+        self.stats.rfp_dropped_squashed += squashed_rfp;
         for &d in &dsts {
             self.preg_pred[d.index()] = NEVER;
             self.preg_actual[d.index()] = NEVER;
@@ -481,6 +565,9 @@ impl Core {
                 self.stats = CoreStats::default();
                 self.stats.total_retired_uops = total;
                 self.cycle_offset = self.cycle;
+                if P::ENABLED {
+                    self.probe.emit(self.cycle, ProbeEvent::StatsReset);
+                }
             }
         }
     }
@@ -520,14 +607,18 @@ impl Core {
                 {
                     self.stats.epp_reexecutions += 1;
                     self.retire_blocked_until = self.cycle + 2;
-                    let _ = self.mem.access(addr, self.cycle, false);
+                    let _ = self
+                        .mem
+                        .access_with(addr, self.cycle, false, &mut self.probe);
                 }
             }
             UopKind::Store => {
                 self.stats.retired_stores += 1;
                 let m = uop.mem_ref();
                 // Commit the store to the memory system.
-                let _ = self.mem.access(m.addr, self.cycle, true);
+                let _ = self
+                    .mem
+                    .access_with(m.addr, self.cycle, true, &mut self.probe);
                 self.stq_used -= 1;
             }
             UopKind::Branch { .. } => {
@@ -538,6 +629,10 @@ impl Core {
         }
         if uop.kind.is_load() {
             self.ldq_used -= 1;
+        }
+        if P::ENABLED {
+            self.probe
+                .emit(self.cycle, ProbeEvent::Retire { seq: inst.seq });
         }
         // Free the previous mapping of the destination register.
         if let Some(prev) = inst.prev_phys {
@@ -618,6 +713,9 @@ impl Core {
             .all(|p| self.preg_actual[p.index()] <= now);
         if !actual_ok {
             self.stats.sched_reissues += 1;
+            if P::ENABLED {
+                self.probe.emit(now, ProbeEvent::SchedReissue { seq });
+            }
             let penalty = self.cfg.reissue_penalty;
             if let Some(i) = self.inst_mut(seq) {
                 i.not_before = now + penalty;
@@ -648,6 +746,21 @@ impl Core {
         let gen = self.inst(seq).expect("in window").gen;
         if let Some(i) = self.inst_mut(seq) {
             i.complete_cycle = Some(done);
+        }
+        if P::ENABLED {
+            let now = self.cycle;
+            let class = uop_class(self.inst(seq).expect("in window").uop.kind);
+            self.probe.emit(
+                now,
+                ProbeEvent::Execute {
+                    seq,
+                    class,
+                    issue: now,
+                    complete: done,
+                    level: None,
+                    forwarded: false,
+                },
+            );
         }
         self.push_event(done, EventKind::Complete { seq, gen });
     }
@@ -704,6 +817,15 @@ impl Core {
             RfpState::Queued { .. } => {
                 // The load beat its own prefetch: drop the packet.
                 self.stats.rfp_dropped_load_first += 1;
+                if P::ENABLED {
+                    self.probe.emit(
+                        now,
+                        ProbeEvent::RfpDrop {
+                            seq,
+                            reason: DropReason::LoadFirst,
+                        },
+                    );
+                }
                 if let Some(i) = self.inst_mut(seq) {
                     i.rfp = RfpState::Dropped;
                 }
@@ -720,11 +842,27 @@ impl Core {
                     // data and skips the caches entirely.
                     let done = complete.max(now + 1);
                     self.stats.rfp_useful += 1;
-                    if complete <= now + 1 {
+                    let fully_hidden = complete <= now + 1;
+                    if fully_hidden {
                         self.stats.rfp_fully_hidden += 1;
-                        if let Some(i) = self.inst_mut(seq) {
-                            i.rfp_fully_hid = true;
-                        }
+                    }
+                    if let Some(i) = self.inst_mut(seq) {
+                        i.rfp_fully_hid = fully_hidden;
+                        // Terminal state: a later flush of this load must
+                        // not re-count the packet as a squashed drop.
+                        i.rfp = RfpState::Consumed;
+                    }
+                    if P::ENABLED {
+                        self.probe.emit(
+                            now,
+                            ProbeEvent::RfpResolve {
+                                seq,
+                                useful: true,
+                                fully_hidden,
+                                rfp_complete: complete,
+                                load_issue: now,
+                            },
+                        );
                     }
                     let idx = HitLevel::ALL
                         .iter()
@@ -739,6 +877,18 @@ impl Core {
                 // the ordinary path below. Dependents woken against the
                 // prefetch timing get cancelled by the scoreboard.
                 self.stats.rfp_wrong_addr += 1;
+                if P::ENABLED {
+                    self.probe.emit(
+                        now,
+                        ProbeEvent::RfpResolve {
+                            seq,
+                            useful: false,
+                            fully_hidden: false,
+                            rfp_complete: complete,
+                            load_issue: now,
+                        },
+                    );
+                }
                 if let Some(pt) = self.pt.as_mut() {
                     pt.on_mispredict(uop.pc, addr);
                 }
@@ -773,7 +923,10 @@ impl Core {
                     .push((seq, gen));
             }
             StoreScan::NoConflict => {
-                if self.ports.try_acquire(PortClient::DemandLoad) {
+                if self
+                    .ports
+                    .try_acquire_with(PortClient::DemandLoad, now, &mut self.probe)
+                {
                     self.access_memory_for_load(seq, addr);
                 } else {
                     let gen = self.inst(seq).expect("in window").gen;
@@ -796,7 +949,11 @@ impl Core {
                 continue;
             }
             let addr = inst.uop.mem_ref().addr;
-            if !self.ports.try_acquire(PortClient::DemandLoad) {
+            let now = self.cycle;
+            if !self
+                .ports
+                .try_acquire_with(PortClient::DemandLoad, now, &mut self.probe)
+            {
                 self.l1_retry.push_front((seq, gen));
                 break;
             }
@@ -806,7 +963,7 @@ impl Core {
 
     fn access_memory_for_load(&mut self, seq: SeqNum, addr: Addr) {
         let now = self.cycle;
-        let result = self.mem.access(addr, now, false);
+        let result = self.mem.access_with(addr, now, false, &mut self.probe);
         let level = result.level;
         let idx = HitLevel::ALL
             .iter()
@@ -864,6 +1021,22 @@ impl Core {
                 i.hit_level = Some(l);
             }
         }
+        if P::ENABLED {
+            let inst = self.inst(seq).expect("in window");
+            let issue = inst.issue_cycle.unwrap_or(now);
+            let forwarded = inst.forwarded;
+            self.probe.emit(
+                now,
+                ProbeEvent::Execute {
+                    seq,
+                    class: UopClass::Load,
+                    issue,
+                    complete: done,
+                    level: level.map(HitLevel::index),
+                    forwarded,
+                },
+            );
+        }
         self.push_event(done, EventKind::Complete { seq, gen });
     }
 
@@ -920,6 +1093,19 @@ impl Core {
             i.complete_cycle = Some(done);
         }
         let gen = self.inst(seq).expect("in window").gen;
+        if P::ENABLED {
+            self.probe.emit(
+                now,
+                ProbeEvent::Execute {
+                    seq,
+                    class: UopClass::Store,
+                    issue: now,
+                    complete: done,
+                    level: None,
+                    forwarded: false,
+                },
+            );
+        }
         self.push_event(done, EventKind::Complete { seq, gen });
         self.store_sets.store_completed(pc, seq);
 
@@ -941,7 +1127,10 @@ impl Core {
                     self.finish_load(lseq, fdone, None, vp_active);
                 } else {
                     // Predicted dependence didn't materialise: go to cache.
-                    if self.ports.try_acquire(PortClient::DemandLoad) {
+                    if self
+                        .ports
+                        .try_acquire_with(PortClient::DemandLoad, now, &mut self.probe)
+                    {
                         self.access_memory_for_load(lseq, laddr);
                     } else {
                         let g = self.inst(lseq).expect("in window").gen;
@@ -1004,9 +1193,21 @@ impl Core {
     fn violation_flush(&mut self, load_seq: SeqNum) {
         let penalty_end = self.cycle + self.cfg.vp_flush_penalty;
         self.dispatch_blocked_until = self.dispatch_blocked_until.max(penalty_end);
-        // Reset the load itself.
+        if P::ENABLED {
+            self.probe.emit(
+                self.cycle,
+                ProbeEvent::Flush {
+                    seq: load_seq,
+                    kind: FlushKind::MemOrder,
+                },
+            );
+        }
+        // Reset the load itself. (Its own RFP packet cannot still be live:
+        // the load has executed, which resolved the packet one way or the
+        // other — no funnel adjustment needed here.)
         let mut dst = None;
         if let Some(i) = self.inst_mut(load_seq) {
+            debug_assert!(!i.rfp.is_queued() && !i.rfp.is_inflight());
             i.squash_execution(penalty_end);
             dst = i.dst_phys;
         }
@@ -1046,6 +1247,15 @@ impl Core {
             // left; drop (§3.2.2).
             if drop_on_tlb_miss && !self.mem.rfp_dtlb_hit(pkt.addr) {
                 self.stats.rfp_dropped_tlb += 1;
+                if P::ENABLED {
+                    self.probe.emit(
+                        self.cycle,
+                        ProbeEvent::RfpDrop {
+                            seq: pkt.seq,
+                            reason: DropReason::TlbMiss,
+                        },
+                    );
+                }
                 if let Some(i) = self.inst_mut(pkt.seq) {
                     i.rfp = RfpState::Dropped;
                 }
@@ -1056,10 +1266,13 @@ impl Core {
             match self.scan_stores(pkt.seq, pkt.addr) {
                 StoreScan::Forward { store_seq } => {
                     // Take the data straight from the store queue.
-                    if !self.ports.try_acquire(PortClient::Rfp) {
+                    let now = self.cycle;
+                    if !self
+                        .ports
+                        .try_acquire_with(PortClient::Rfp, now, &mut self.probe)
+                    {
                         break;
                     }
-                    let now = self.cycle;
                     let store_done = self
                         .inst(store_seq)
                         .and_then(|s| s.complete_cycle)
@@ -1075,6 +1288,18 @@ impl Core {
                             stale: false,
                         };
                     }
+                    if P::ENABLED {
+                        self.probe.emit(
+                            now,
+                            ProbeEvent::RfpExecute {
+                                seq: pkt.seq,
+                                addr: pkt.addr,
+                                complete,
+                                level: HitLevel::L1.index(),
+                                queued_for: now.saturating_sub(pkt.injected_at),
+                            },
+                        );
+                    }
                     self.publish_rfp_timing(pkt.seq, complete);
                     self.rfp_queue.pop_front();
                 }
@@ -1088,19 +1313,40 @@ impl Core {
                     // one of the last L2 miss slots from demand loads.
                     if self.mem.prefetch_would_starve_demand(pkt.addr, self.cycle) {
                         self.stats.rfp_dropped_l1_miss += 1;
+                        if P::ENABLED {
+                            self.probe.emit(
+                                self.cycle,
+                                ProbeEvent::RfpDrop {
+                                    seq: pkt.seq,
+                                    reason: DropReason::L1Miss,
+                                },
+                            );
+                        }
                         if let Some(i) = self.inst_mut(pkt.seq) {
                             i.rfp = RfpState::Dropped;
                         }
                         self.rfp_queue.pop_front();
                         continue;
                     }
-                    if !self.ports.try_acquire(PortClient::Rfp) {
+                    let now = self.cycle;
+                    if !self
+                        .ports
+                        .try_acquire_with(PortClient::Rfp, now, &mut self.probe)
+                    {
                         break;
                     }
-                    let now = self.cycle;
-                    let result = self.mem.access(pkt.addr, now, false);
+                    let result = self.mem.access_with(pkt.addr, now, false, &mut self.probe);
                     if result.level != HitLevel::L1 && !continue_on_l1_miss {
                         self.stats.rfp_dropped_l1_miss += 1;
+                        if P::ENABLED {
+                            self.probe.emit(
+                                now,
+                                ProbeEvent::RfpDrop {
+                                    seq: pkt.seq,
+                                    reason: DropReason::L1Miss,
+                                },
+                            );
+                        }
                         if let Some(i) = self.inst_mut(pkt.seq) {
                             i.rfp = RfpState::Dropped;
                         }
@@ -1116,6 +1362,18 @@ impl Core {
                             level: result.level,
                             stale: false,
                         };
+                    }
+                    if P::ENABLED {
+                        self.probe.emit(
+                            now,
+                            ProbeEvent::RfpExecute {
+                                seq: pkt.seq,
+                                addr: pkt.addr,
+                                complete: result.complete_at,
+                                level: result.level.index(),
+                                queued_for: now.saturating_sub(pkt.injected_at),
+                            },
+                        );
                     }
                     self.publish_rfp_timing(pkt.seq, result.complete_at);
                     self.rfp_queue.pop_front();
@@ -1204,6 +1462,16 @@ impl Core {
         let now = self.cycle;
         let seq = SeqNum::new(self.next_seq);
         self.next_seq += 1;
+        if P::ENABLED {
+            self.probe.emit(
+                now,
+                ProbeEvent::Alloc {
+                    seq,
+                    pc: uop.pc,
+                    class: uop_class(uop.kind),
+                },
+            );
+        }
         let mut inst = DynInst::new(seq, uop, now, self.cfg.sched_latency);
 
         // Rename: snapshot source mappings, allocate a destination.
@@ -1288,7 +1556,10 @@ impl Core {
                 let fwd_likely = d.forwarding_likely(pc);
                 if !fwd_likely {
                     self.stats.ap_no_fwd += 1;
-                    if self.ports.try_acquire(PortClient::ApProbe) {
+                    if self
+                        .ports
+                        .try_acquire_with(PortClient::ApProbe, now, &mut self.probe)
+                    {
                         self.stats.ap_probe_launched += 1;
                         let probe_done =
                             fetch_cycle + self.cfg.mem.l1.latency + self.cfg.ap_probe_overhead;
@@ -1355,15 +1626,38 @@ impl Core {
         };
         let Some(addr) = predicted_addr else { return };
         if self.rfp_queue.len() >= rfp_cfg.queue_entries {
+            // Rejected before entering the funnel: `rfp_injected` is not
+            // incremented, so queue-full drops sit outside the terminal-
+            // bucket equation (see `CoreStats::funnel_consistent`).
             self.stats.rfp_dropped_queue_full += 1;
+            if P::ENABLED {
+                self.probe.emit(
+                    now,
+                    ProbeEvent::RfpDrop {
+                        seq: inst.seq,
+                        reason: DropReason::QueueFull,
+                    },
+                );
+            }
             return;
         }
         self.stats.rfp_injected += 1;
         inst.rfp = RfpState::Queued { addr };
+        if P::ENABLED {
+            self.probe.emit(
+                now,
+                ProbeEvent::RfpInject {
+                    seq: inst.seq,
+                    pc,
+                    addr,
+                },
+            );
+        }
         self.rfp_queue.push_back(RfpPacket {
             seq: inst.seq,
             gen: inst.gen,
             addr,
+            injected_at: now,
         });
     }
 

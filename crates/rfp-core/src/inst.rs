@@ -44,6 +44,12 @@ pub enum RfpState {
         /// address: the data in the register is stale and must not be used.
         stale: bool,
     },
+    /// The load issued and consumed the prefetched data (counted useful).
+    /// Distinct from [`RfpState::Dropped`] so a later flush of an
+    /// already-satisfied load cannot re-enter a drop bucket — every
+    /// injected packet lands in exactly one terminal funnel bucket (see
+    /// `CoreStats::funnel_consistent`).
+    Consumed,
     /// The packet was dropped (load issued first, TLB miss, queue full...).
     Dropped,
 }

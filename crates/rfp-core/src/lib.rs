@@ -65,8 +65,30 @@ pub fn simulate_workload(
     workload: &Workload,
     len: u64,
 ) -> Result<SimReport, ConfigError> {
+    let (report, rfp_obs::NoopProbe) =
+        simulate_workload_probed(config, workload, len, rfp_obs::NoopProbe)?;
+    Ok(report)
+}
+
+/// [`simulate_workload`] with an observability sink attached: the probe
+/// receives every pipeline/RFP/memory event and is returned alongside the
+/// report so its contents (histograms, trace events) can be drained.
+///
+/// The warmup boundary is reported to the probe as
+/// [`rfp_obs::ProbeEvent::StatsReset`], so sinks that mirror `CoreStats`
+/// semantics cover the measured window only.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when `config` is invalid.
+pub fn simulate_workload_probed<P: rfp_obs::Probe>(
+    config: &CoreConfig,
+    workload: &Workload,
+    len: u64,
+    probe: P,
+) -> Result<(SimReport, P), ConfigError> {
     let warmup = len / 2;
-    let mut core = Core::new(config.clone())?;
+    let mut core = Core::with_probe(config.clone(), probe)?;
     core.prewarm_from(workload.program().patterns.iter().filter_map(|p| {
         use rfp_trace::WorkingSetClass as W;
         let level = match p.ws {
@@ -77,10 +99,9 @@ pub fn simulate_workload(
         };
         Some((p.base, p.region_bytes, level))
     }));
-    let stats = core.run_with_warmup(workload.trace(len + warmup), warmup);
-    Ok(SimReport::new(
-        workload.name,
-        workload.category.label(),
-        stats,
+    let (stats, probe) = core.run_with_warmup_probed(workload.trace(len + warmup), warmup);
+    Ok((
+        SimReport::new(workload.name, workload.category.label(), stats),
+        probe,
     ))
 }

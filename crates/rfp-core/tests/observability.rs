@@ -1,0 +1,211 @@
+//! End-to-end tests of the probe layer: a probed core must behave
+//! identically to an unprobed one, sinks must see the whole prefetch
+//! funnel, and the funnel itself must balance on real runs.
+
+use rfp_core::{simulate, simulate_workload, simulate_workload_probed, Core, CoreConfig};
+use rfp_obs::{ChromeTraceSink, MetricsSink, NoopProbe, Probe, ProbeEvent, TeeProbe};
+use rfp_trace::{MemRef, MicroOp};
+use rfp_types::{Addr, ArchReg, Cycle, Pc};
+
+fn r(i: u8) -> ArchReg {
+    ArchReg::new(i)
+}
+
+fn mem(addr: u64, value: u64) -> MemRef {
+    MemRef {
+        addr: Addr::new(addr),
+        size: 8,
+        value,
+    }
+}
+
+/// A strided load chain RFP covers well, with a dependent ALU per load.
+fn strided_chain(n: u64) -> Vec<MicroOp> {
+    let mut ops = Vec::new();
+    for i in 0..n {
+        ops.push(MicroOp::load(
+            Pc::new(0x400),
+            &[r(8)],
+            r(10),
+            mem(0x1000 + (i % 64) * 8, i),
+        ));
+        ops.push(MicroOp::alu(Pc::new(0x404), 1, &[r(10)], Some(r(8))));
+    }
+    ops
+}
+
+/// Loads interleaved with stores to the same region plus mispredicted
+/// branches — exercises forwarding, squashes and drops.
+fn messy_trace(n: u64) -> Vec<MicroOp> {
+    let mut ops = Vec::new();
+    for i in 0..n {
+        let a = 0x2000 + (i % 32) * 8;
+        ops.push(MicroOp::store(Pc::new(0x500), &[r(4)], mem(a, i)));
+        ops.push(MicroOp::load(Pc::new(0x508), &[r(8)], r(10), mem(a, i)));
+        ops.push(MicroOp::alu(Pc::new(0x50c), 1, &[r(10)], Some(r(8))));
+        if i % 7 == 0 {
+            ops.push(MicroOp::branch(
+                Pc::new(0x510),
+                &[r(8)],
+                i % 14 == 0,
+                i % 21 == 0,
+            ));
+        }
+    }
+    ops
+}
+
+#[test]
+fn probed_run_matches_unprobed_run_exactly() {
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let plain = simulate(&cfg, strided_chain(3_000)).unwrap();
+    let (probed, _sink) = Core::with_probe(cfg, MetricsSink::new())
+        .unwrap()
+        .run_with_warmup_probed(strided_chain(3_000), 0);
+    assert_eq!(plain.cycles, probed.cycles);
+    assert_eq!(plain.retired_uops, probed.retired_uops);
+    assert_eq!(plain.rfp_injected, probed.rfp_injected);
+    assert_eq!(plain.rfp_useful, probed.rfp_useful);
+    assert_eq!(plain.rfp_fully_hidden, probed.rfp_fully_hidden);
+    assert_eq!(plain.load_hit_levels, probed.load_hit_levels);
+}
+
+#[test]
+fn metrics_sink_mirrors_core_counters() {
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let (stats, sink) = Core::with_probe(cfg, MetricsSink::new())
+        .unwrap()
+        .run_with_warmup_probed(strided_chain(3_000), 0);
+    let m = sink.into_metrics();
+    assert!(stats.rfp_useful > 0, "RFP must fire on a strided chain");
+    assert_eq!(
+        m.rfp_complete_rel_issue.total(),
+        stats.rfp_useful,
+        "one timeliness sample per useful prefetch"
+    );
+    assert_eq!(
+        m.rfp_complete_rel_issue.count_le(1),
+        stats.rfp_fully_hidden,
+        "fully-hidden = completion no later than issue + 1 (§5.2.2)"
+    );
+    assert!(m.load_use_latency.total() > 0);
+    let dropped: u64 = m.drops_by_reason().iter().sum();
+    let stat_drops = stats.rfp_dropped_load_first
+        + stats.rfp_dropped_tlb
+        + stats.rfp_dropped_queue_full
+        + stats.rfp_dropped_l1_miss
+        + stats.rfp_dropped_squashed;
+    assert_eq!(dropped, stat_drops);
+}
+
+#[test]
+fn funnel_balances_on_warmup_free_runs() {
+    for (name, ops) in [
+        ("strided", strided_chain(4_000)),
+        ("messy", messy_trace(2_000)),
+    ] {
+        let stats = simulate(&CoreConfig::tiger_lake().with_rfp(), ops).unwrap();
+        assert!(
+            stats.funnel_consistent(),
+            "{name}: injected={} terminal={}",
+            stats.rfp_injected,
+            stats.rfp_terminal_total()
+        );
+    }
+}
+
+#[test]
+fn funnel_balances_under_value_prediction_flushes() {
+    // VP flushes squash younger instructions — live packets of squashed
+    // loads must land in the squashed bucket, not leak.
+    let mut cfg = CoreConfig::tiger_lake().with_rfp();
+    cfg.vp = rfp_core::VpMode::Eves(Default::default());
+    let stats = simulate(&cfg, messy_trace(2_000)).unwrap();
+    assert!(
+        stats.funnel_consistent(),
+        "injected={} terminal={}",
+        stats.rfp_injected,
+        stats.rfp_terminal_total()
+    );
+}
+
+#[test]
+fn chrome_sink_captures_complete_prefetch_lifetimes() {
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let lanes = cfg.rob_entries;
+    let (stats, sink) = Core::with_probe(cfg, ChromeTraceSink::new(lanes))
+        .unwrap()
+        .run_with_warmup_probed(strided_chain(2_000), 0);
+    assert!(stats.rfp_useful > 0);
+    let json = sink.into_json();
+    assert!(json.contains("\"rfp-useful\""), "useful lifetime spans");
+    assert!(json.contains("\"name\":\"load\""), "pipeline slices");
+    assert!(json.contains("\"fully_hidden\":true"));
+    assert!(json.starts_with("{\"traceEvents\":["));
+}
+
+#[test]
+fn tee_probe_feeds_trace_and_metrics_in_one_run() {
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let lanes = cfg.rob_entries;
+    let tee = TeeProbe::new(ChromeTraceSink::new(lanes), MetricsSink::new());
+    let (stats, tee) = Core::with_probe(cfg, tee)
+        .unwrap()
+        .run_with_warmup_probed(strided_chain(1_000), 0);
+    assert_eq!(
+        tee.b.metrics().rfp_complete_rel_issue.total(),
+        stats.rfp_useful
+    );
+    assert!(!tee.a.is_empty());
+}
+
+#[test]
+fn workload_probe_respects_the_warmup_window() {
+    let w = rfp_trace::by_name("spec06_libquantum").expect("in the suite");
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let plain = simulate_workload(&cfg, &w, 6_000).unwrap();
+    let (probed, sink) = simulate_workload_probed(&cfg, &w, 6_000, MetricsSink::new()).unwrap();
+    assert_eq!(plain.canonical_text(), probed.canonical_text());
+    let m = sink.into_metrics();
+    // The sink reset at the warmup boundary, so its totals describe the
+    // measured window exactly — same as the stats counters.
+    assert_eq!(m.rfp_complete_rel_issue.total(), probed.stats.rfp_useful);
+    assert_eq!(
+        m.rfp_complete_rel_issue.count_le(1),
+        probed.stats.rfp_fully_hidden
+    );
+}
+
+#[test]
+fn noop_probe_run_signature_still_returns_probe() {
+    // The probed entry point is usable with the zero-cost default too.
+    let (stats, NoopProbe) = Core::with_probe(CoreConfig::tiger_lake(), NoopProbe)
+        .unwrap()
+        .run_with_warmup_probed(strided_chain(100), 0);
+    assert!(stats.retired_uops > 0);
+}
+
+#[test]
+fn event_stream_is_deterministic_across_runs() {
+    struct Fingerprint(u64);
+    impl Probe for Fingerprint {
+        const ENABLED: bool = true;
+        fn emit(&mut self, cycle: Cycle, event: ProbeEvent) {
+            // FNV-1a over the debug rendering: cheap structural hash.
+            let s = format!("{cycle}:{event:?}");
+            for b in s.bytes() {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    let run = || {
+        let cfg = CoreConfig::tiger_lake().with_rfp();
+        Core::with_probe(cfg, Fingerprint(0xcbf2_9ce4_8422_2325))
+            .unwrap()
+            .run_with_warmup_probed(messy_trace(1_500), 0)
+            .1
+             .0
+    };
+    assert_eq!(run(), run());
+}

@@ -7,6 +7,7 @@
 //! prefetching from level N to level N−1 will ensure all hits at level N
 //! will be served at the latency of level N−1".
 
+use rfp_obs::{Probe, ProbeEvent};
 use rfp_types::{Addr, ConfigError, Cycle};
 
 use crate::cache::{Cache, CacheConfig};
@@ -47,6 +48,18 @@ impl HitLevel {
             HitLevel::L2 => "L2",
             HitLevel::Llc => "LLC",
             HitLevel::Dram => "DRAM",
+        }
+    }
+
+    /// Position in [`HitLevel::ALL`] — the tier index probe events carry
+    /// (`rfp-obs` sits below this crate and cannot name `HitLevel`).
+    pub fn index(self) -> u8 {
+        match self {
+            HitLevel::L1 => 0,
+            HitLevel::Mshr => 1,
+            HitLevel::L2 => 2,
+            HitLevel::Llc => 3,
+            HitLevel::Dram => 4,
         }
     }
 }
@@ -224,6 +237,31 @@ impl MemoryHierarchy {
     /// Returns the configuration.
     pub fn config(&self) -> &HierarchyConfig {
         &self.config
+    }
+
+    /// [`MemoryHierarchy::access`], but reporting the access to `probe`
+    /// as a [`ProbeEvent::MemAccess`].
+    pub fn access_with<P: Probe>(
+        &mut self,
+        addr: Addr,
+        now: Cycle,
+        is_store: bool,
+        probe: &mut P,
+    ) -> AccessResult {
+        let result = self.access(addr, now, is_store);
+        if P::ENABLED {
+            probe.emit(
+                now,
+                ProbeEvent::MemAccess {
+                    addr,
+                    level: result.level.index(),
+                    complete: result.complete_at,
+                    tlb_walk: matches!(result.tlb, TlbOutcome::Walk),
+                    is_store,
+                },
+            );
+        }
+        result
     }
 
     /// Performs a demand access (load, store-commit, or RFP request — RFP
@@ -583,5 +621,46 @@ mod tests {
         let r2 = m.access(a, r1.complete_at + 1, false);
         assert!(r1.complete_at > r2.complete_at - (r1.complete_at + 1));
         assert_eq!(r2.complete_at - (r1.complete_at + 1), 5);
+    }
+
+    #[test]
+    fn hit_level_index_matches_all_order() {
+        for (i, level) in HitLevel::ALL.iter().enumerate() {
+            assert_eq!(level.index() as usize, i);
+        }
+    }
+
+    #[test]
+    fn access_with_mirrors_access_and_reports_it() {
+        struct Last(Option<ProbeEvent>);
+        impl Probe for Last {
+            const ENABLED: bool = true;
+            fn emit(&mut self, _cycle: Cycle, event: ProbeEvent) {
+                self.0 = Some(event);
+            }
+        }
+        let mut m = mem();
+        let mut probe = Last(None);
+        let a = Addr::new(0x99_0000);
+        let r = m.access_with(a, 0, false, &mut probe);
+        match probe.0 {
+            Some(ProbeEvent::MemAccess {
+                addr,
+                level,
+                complete,
+                tlb_walk,
+                is_store,
+            }) => {
+                assert_eq!(addr, a);
+                assert_eq!(level, r.level.index());
+                assert_eq!(complete, r.complete_at);
+                assert!(tlb_walk, "first touch of a page walks");
+                assert!(!is_store);
+            }
+            other => panic!("expected MemAccess, got {other:?}"),
+        }
+        // A disabled probe costs nothing and still returns the result.
+        let r2 = m.access_with(a, r.complete_at + 1, false, &mut rfp_obs::NoopProbe);
+        assert_eq!(r2.level, HitLevel::L1);
     }
 }

@@ -6,6 +6,7 @@
 //! with extra ports *dedicated* to RFP; [`PortConfig::dedicated_rfp`] models
 //! that.
 
+use rfp_obs::{Probe, ProbeEvent};
 use rfp_types::{ConfigError, Cycle};
 
 /// Who is requesting an L1 port this cycle.
@@ -152,6 +153,26 @@ impl LoadPorts {
         }
     }
 
+    /// [`LoadPorts::try_acquire`], but reporting denials to `probe` as
+    /// [`ProbeEvent::PortDenied`] (port-contention instants in traces).
+    pub fn try_acquire_with<P: Probe>(
+        &mut self,
+        client: PortClient,
+        now: Cycle,
+        probe: &mut P,
+    ) -> bool {
+        let granted = self.try_acquire(client);
+        if P::ENABLED && !granted {
+            let idx = match client {
+                PortClient::DemandLoad => 0,
+                PortClient::Rfp => 1,
+                PortClient::ApProbe => 2,
+            };
+            probe.emit(now, ProbeEvent::PortDenied { client: idx });
+        }
+        granted
+    }
+
     /// Free shared (demand) ports remaining this cycle.
     pub fn free_shared(&self) -> usize {
         self.config.load_ports - self.shared_used
@@ -227,6 +248,26 @@ mod tests {
         assert!(p.try_acquire(PortClient::DemandLoad));
         assert!(!p.try_acquire(PortClient::DemandLoad));
         assert_eq!(p.grants(), (1, 0, 1));
+    }
+
+    #[test]
+    fn try_acquire_with_reports_denials() {
+        struct DenialProbe(Vec<u8>);
+        impl Probe for DenialProbe {
+            const ENABLED: bool = true;
+            fn emit(&mut self, _cycle: Cycle, event: ProbeEvent) {
+                if let ProbeEvent::PortDenied { client } = event {
+                    self.0.push(client);
+                }
+            }
+        }
+        let mut p = ports(1, 0);
+        let mut probe = DenialProbe(Vec::new());
+        p.begin_cycle(1);
+        assert!(p.try_acquire_with(PortClient::DemandLoad, 1, &mut probe));
+        assert!(!p.try_acquire_with(PortClient::Rfp, 1, &mut probe));
+        assert!(!p.try_acquire_with(PortClient::DemandLoad, 1, &mut probe));
+        assert_eq!(probe.0, vec![1, 0]);
     }
 
     #[test]

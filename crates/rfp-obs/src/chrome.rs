@@ -1,0 +1,434 @@
+//! Chrome-trace-event JSON writer (loadable in Perfetto or
+//! `chrome://tracing`).
+//!
+//! Two processes in the trace:
+//!
+//! * pid 1 `pipeline` — one complete slice (`ph: "X"`) per retired
+//!   micro-op, from allocation to completion, on lane
+//!   `tid = 1 + seq % lanes`. With `lanes` = ROB entries, slices on one
+//!   lane can never overlap: the instruction `lanes` sequence numbers
+//!   later cannot allocate before this one has retired.
+//! * pid 2 `rfp` — one lifetime span per prefetch packet, from injection
+//!   to register-file writeback (`rfp-useful`/`rfp-wrong`) or death
+//!   (`rfp-drop-*`), on the same lane as its load — so a prefetch's span
+//!   visually overlaps its load's pipeline slice and timeliness is
+//!   readable per instance.
+//! * pid 3 `l1-ports` — instants for denied port requests (contention).
+//!
+//! One simulated cycle is rendered as one microsecond (`ts`/`dur` are µs
+//! in the trace format).
+
+use std::collections::HashMap;
+
+use rfp_types::{Addr, Cycle, Pc};
+
+use crate::{FlushKind, Probe, ProbeEvent, UopClass};
+
+/// Default cap on rendered trace events, keeping worst-case trace files
+/// around a couple hundred MB.
+pub const DEFAULT_MAX_EVENTS: usize = 500_000;
+
+#[derive(Debug, Clone, Copy)]
+struct UopRec {
+    pc: Pc,
+    class: UopClass,
+    alloc: Cycle,
+    issue: Option<Cycle>,
+    complete: Option<Cycle>,
+    level: Option<u8>,
+    forwarded: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RfpRec {
+    inject: Cycle,
+    addr: Addr,
+    level: Option<u8>,
+    queued_for: Cycle,
+}
+
+/// Renders the probe event stream as Chrome trace events.
+#[derive(Debug)]
+pub struct ChromeTraceSink {
+    lanes: u64,
+    max_events: usize,
+    events: Vec<String>,
+    dropped: u64,
+    uops: HashMap<u64, UopRec>,
+    rfp: HashMap<u64, RfpRec>,
+}
+
+impl ChromeTraceSink {
+    /// Creates a sink with `lanes` pipeline lanes (pass the core's ROB
+    /// entry count: retirement order then guarantees slices on one lane
+    /// never overlap) and the default event cap.
+    pub fn new(lanes: usize) -> Self {
+        Self::with_max_events(lanes, DEFAULT_MAX_EVENTS)
+    }
+
+    /// Creates a sink with an explicit cap on rendered events; events
+    /// past the cap are counted (see `otherData.dropped_events` in the
+    /// output) but not rendered.
+    pub fn with_max_events(lanes: usize, max_events: usize) -> Self {
+        ChromeTraceSink {
+            lanes: lanes.max(1) as u64,
+            max_events,
+            events: Vec::new(),
+            dropped: 0,
+            uops: HashMap::new(),
+            rfp: HashMap::new(),
+        }
+    }
+
+    /// Rendered events so far (excluding metadata).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been rendered yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn lane(&self, seq: u64) -> u64 {
+        1 + seq % self.lanes
+    }
+
+    fn push(&mut self, event: String) {
+        if self.events.len() < self.max_events {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn slice(&mut self, pid: u32, tid: u64, name: &str, ts: Cycle, dur: Cycle, args: String) {
+        self.push(format!(
+            "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{ts},\"dur\":{dur},\"args\":{{{args}}}}}"
+        ));
+    }
+
+    fn instant(&mut self, pid: u32, tid: u64, name: &str, ts: Cycle, args: String) {
+        self.push(format!(
+            "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{ts},\"args\":{{{args}}}}}"
+        ));
+    }
+
+    /// Serializes the trace as a Chrome trace-event JSON object.
+    pub fn into_json(self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 128);
+        out.push_str("{\"traceEvents\":[\n");
+        for pid in 1..=3u32 {
+            let name = match pid {
+                1 => "pipeline",
+                2 => "rfp",
+                _ => "l1-ports",
+            };
+            out.push_str(&format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\
+                 \"args\":{{\"name\":\"{name}\"}}}},\n"
+            ));
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(e);
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\
+             \"cycles_per_us\":1,\"lanes\":{},\"dropped_events\":{}}}}}\n",
+            self.lanes, self.dropped
+        ));
+        out
+    }
+}
+
+impl Probe for ChromeTraceSink {
+    const ENABLED: bool = true;
+
+    fn emit(&mut self, cycle: Cycle, event: ProbeEvent) {
+        match event {
+            ProbeEvent::Alloc { seq, pc, class } => {
+                self.uops.insert(
+                    seq.raw(),
+                    UopRec {
+                        pc,
+                        class,
+                        alloc: cycle,
+                        issue: None,
+                        complete: None,
+                        level: None,
+                        forwarded: false,
+                    },
+                );
+            }
+            ProbeEvent::Execute {
+                seq,
+                issue,
+                complete,
+                level,
+                forwarded,
+                ..
+            } => {
+                if let Some(rec) = self.uops.get_mut(&seq.raw()) {
+                    rec.issue = Some(issue);
+                    rec.complete = Some(complete);
+                    rec.level = level;
+                    rec.forwarded = forwarded;
+                }
+            }
+            ProbeEvent::Retire { seq } => {
+                if let Some(rec) = self.uops.remove(&seq.raw()) {
+                    let end = rec.complete.unwrap_or(cycle).max(rec.alloc);
+                    let mut args = format!(
+                        "\"seq\":{},\"pc\":\"{:#x}\",\"issue\":{}",
+                        seq.raw(),
+                        rec.pc.raw(),
+                        rec.issue.map_or(-1, |c| c as i64),
+                    );
+                    if let Some(l) = rec.level {
+                        args.push_str(&format!(",\"level\":{l}"));
+                    }
+                    if rec.forwarded {
+                        args.push_str(",\"forwarded\":true");
+                    }
+                    self.slice(
+                        1,
+                        self.lane(seq.raw()),
+                        rec.class.label(),
+                        rec.alloc,
+                        end - rec.alloc,
+                        args,
+                    );
+                }
+            }
+            ProbeEvent::Flush { seq, kind } => {
+                let name = match kind {
+                    FlushKind::ValueMispredict => "flush-value",
+                    FlushKind::MemOrder => "flush-memorder",
+                };
+                let args = format!("\"seq\":{}", seq.raw());
+                self.instant(1, self.lane(seq.raw()), name, cycle, args);
+            }
+            ProbeEvent::SchedReissue { .. } => {}
+            ProbeEvent::RfpInject { seq, addr, .. } => {
+                self.rfp.insert(
+                    seq.raw(),
+                    RfpRec {
+                        inject: cycle,
+                        addr,
+                        level: None,
+                        queued_for: 0,
+                    },
+                );
+            }
+            ProbeEvent::RfpExecute {
+                seq,
+                level,
+                queued_for,
+                ..
+            } => {
+                if let Some(rec) = self.rfp.get_mut(&seq.raw()) {
+                    rec.level = Some(level);
+                    rec.queued_for = queued_for;
+                }
+            }
+            ProbeEvent::RfpResolve {
+                seq,
+                useful,
+                fully_hidden,
+                rfp_complete,
+                load_issue,
+            } => {
+                if let Some(rec) = self.rfp.remove(&seq.raw()) {
+                    let name = if useful { "rfp-useful" } else { "rfp-wrong" };
+                    let end = rfp_complete.max(rec.inject + 1);
+                    let mut args = format!(
+                        "\"seq\":{},\"addr\":\"{:#x}\",\"load_issue\":{load_issue},\
+                         \"queued_for\":{},\"fully_hidden\":{fully_hidden}",
+                        seq.raw(),
+                        rec.addr.raw(),
+                        rec.queued_for,
+                    );
+                    if let Some(l) = rec.level {
+                        args.push_str(&format!(",\"level\":{l}"));
+                    }
+                    self.slice(
+                        2,
+                        self.lane(seq.raw()),
+                        name,
+                        rec.inject,
+                        end - rec.inject,
+                        args,
+                    );
+                }
+            }
+            ProbeEvent::RfpDrop { seq, reason } => {
+                let name = format!("rfp-drop-{}", reason.label());
+                match self.rfp.remove(&seq.raw()) {
+                    Some(rec) => {
+                        let args =
+                            format!("\"seq\":{},\"addr\":\"{:#x}\"", seq.raw(), rec.addr.raw());
+                        let dur = cycle.saturating_sub(rec.inject).max(1);
+                        self.slice(2, self.lane(seq.raw()), &name, rec.inject, dur, args);
+                    }
+                    None => {
+                        // Queue-full rejections never had an injection span.
+                        let args = format!("\"seq\":{}", seq.raw());
+                        self.instant(2, self.lane(seq.raw()), &name, cycle, args);
+                    }
+                }
+            }
+            ProbeEvent::MemAccess { addr, tlb_walk, .. } => {
+                if tlb_walk {
+                    let args = format!("\"addr\":\"{:#x}\"", addr.raw());
+                    self.instant(1, 0, "tlb-walk", cycle, args);
+                }
+            }
+            ProbeEvent::PortDenied { client } => {
+                let name = match client {
+                    0 => "denied-demand",
+                    1 => "denied-rfp",
+                    _ => "denied-probe",
+                };
+                self.instant(3, u64::from(client), name, cycle, String::new());
+            }
+            ProbeEvent::StatsReset => {
+                self.instant(1, 0, "stats-reset", cycle, String::new());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DropReason;
+    use rfp_types::SeqNum;
+
+    fn seq(n: u64) -> SeqNum {
+        SeqNum::new(n)
+    }
+
+    #[test]
+    fn retired_uop_becomes_a_pipeline_slice() {
+        let mut s = ChromeTraceSink::new(4);
+        s.emit(
+            10,
+            ProbeEvent::Alloc {
+                seq: seq(0),
+                pc: Pc::new(0x400),
+                class: UopClass::Load,
+            },
+        );
+        s.emit(
+            13,
+            ProbeEvent::Execute {
+                seq: seq(0),
+                class: UopClass::Load,
+                issue: 13,
+                complete: 18,
+                level: Some(0),
+                forwarded: false,
+            },
+        );
+        s.emit(19, ProbeEvent::Retire { seq: seq(0) });
+        let json = s.into_json();
+        assert!(json.contains("\"name\":\"load\""));
+        assert!(json.contains("\"ts\":10,\"dur\":8"));
+        assert!(json.contains("\"level\":0"));
+    }
+
+    #[test]
+    fn prefetch_lifetime_spans_inject_to_writeback() {
+        let mut s = ChromeTraceSink::new(4);
+        s.emit(
+            20,
+            ProbeEvent::RfpInject {
+                seq: seq(1),
+                pc: Pc::new(0x404),
+                addr: Addr::new(0x1000),
+            },
+        );
+        s.emit(
+            22,
+            ProbeEvent::RfpExecute {
+                seq: seq(1),
+                addr: Addr::new(0x1000),
+                complete: 27,
+                level: 0,
+                queued_for: 2,
+            },
+        );
+        s.emit(
+            30,
+            ProbeEvent::RfpResolve {
+                seq: seq(1),
+                useful: true,
+                fully_hidden: true,
+                rfp_complete: 27,
+                load_issue: 30,
+            },
+        );
+        let json = s.into_json();
+        assert!(json.contains("\"name\":\"rfp-useful\""));
+        assert!(json.contains("\"ts\":20,\"dur\":7"));
+        assert!(json.contains("\"fully_hidden\":true"));
+    }
+
+    #[test]
+    fn dropped_prefetch_renders_a_drop_span_or_instant() {
+        let mut s = ChromeTraceSink::new(4);
+        s.emit(
+            5,
+            ProbeEvent::RfpInject {
+                seq: seq(2),
+                pc: Pc::new(0x408),
+                addr: Addr::new(0x2000),
+            },
+        );
+        s.emit(
+            9,
+            ProbeEvent::RfpDrop {
+                seq: seq(2),
+                reason: DropReason::TlbMiss,
+            },
+        );
+        // A queue-full drop has no span (it was never injected).
+        s.emit(
+            11,
+            ProbeEvent::RfpDrop {
+                seq: seq(3),
+                reason: DropReason::QueueFull,
+            },
+        );
+        let json = s.into_json();
+        assert!(json.contains("rfp-drop-tlb-miss"));
+        assert!(json.contains("rfp-drop-queue-full"));
+        assert!(json.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn event_cap_drops_past_the_limit() {
+        let mut s = ChromeTraceSink::with_max_events(4, 1);
+        for i in 0..3 {
+            s.emit(i, ProbeEvent::PortDenied { client: 1 });
+        }
+        assert_eq!(s.len(), 1);
+        let json = s.into_json();
+        assert!(json.contains("\"dropped_events\":2"));
+    }
+
+    #[test]
+    fn json_has_trace_shape() {
+        let s = ChromeTraceSink::new(8);
+        let json = s.into_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,361 @@
+//! Observability layer for the RFP simulator.
+//!
+//! The core and memory hierarchy are generic over a [`Probe`] — a sink
+//! for micro-op lifecycle and memory-system events. Instrumentation call
+//! sites are guarded by the associated constant [`Probe::ENABLED`], so
+//! the default [`NoopProbe`] monomorphizes to *nothing*: no dynamic
+//! dispatch, no branch, no event construction on the hot path. The
+//! engine benches guard this claim against `BENCH_engine.json`.
+//!
+//! Two real sinks ship with the crate:
+//!
+//! * [`ChromeTraceSink`] — a Chrome-trace-event/Perfetto JSON writer
+//!   rendering a per-uop pipeline timeline and per-prefetch lifetime
+//!   spans (inject → L1 pipe → register-file writeback).
+//! * [`MetricsSink`] — log2-bucketed latency histograms
+//!   ([`rfp_stats::ObsMetrics`]): load-to-use latency per hit level,
+//!   prefetch completion relative to load issue, queue wait, and drop
+//!   reasons over time. Merges deterministically across the
+//!   work-stealing engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use rfp_obs::{MetricsSink, Probe, ProbeEvent, UopClass};
+//! use rfp_types::SeqNum;
+//!
+//! let mut sink = MetricsSink::new();
+//! sink.emit(10, ProbeEvent::Execute {
+//!     seq: SeqNum::new(0),
+//!     class: UopClass::Load,
+//!     issue: 10,
+//!     complete: 15,
+//!     level: Some(0),
+//!     forwarded: false,
+//! });
+//! assert_eq!(sink.metrics().load_use_latency.total(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod metrics;
+
+pub use chrome::ChromeTraceSink;
+pub use metrics::MetricsSink;
+
+use rfp_types::{Addr, Cycle, Pc, SeqNum};
+
+/// Broad micro-op class carried by lifecycle events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UopClass {
+    /// A load.
+    Load,
+    /// A store.
+    Store,
+    /// A branch.
+    Branch,
+    /// An integer ALU op.
+    Alu,
+    /// A floating-point op.
+    Fp,
+}
+
+impl UopClass {
+    /// Short label, used as the Chrome-trace slice name.
+    pub fn label(self) -> &'static str {
+        match self {
+            UopClass::Load => "load",
+            UopClass::Store => "store",
+            UopClass::Branch => "branch",
+            UopClass::Alu => "alu",
+            UopClass::Fp => "fp",
+        }
+    }
+}
+
+/// Why a prefetch packet died.
+///
+/// The discriminant doubles as the reason index in
+/// [`rfp_stats::ObsMetrics::rfp_drops_over_time`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The load issued before its own prefetch won a port.
+    LoadFirst = 0,
+    /// The predicted address missed the DTLB.
+    TlbMiss = 1,
+    /// The RFP queue was full at injection (never entered the funnel).
+    QueueFull = 2,
+    /// The lookup missed the L1 (or would have starved a demand miss).
+    L1Miss = 3,
+    /// A pipeline flush squashed the load while its packet was live.
+    Squashed = 4,
+}
+
+impl DropReason {
+    /// Short label for trace output.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::LoadFirst => "load-first",
+            DropReason::TlbMiss => "tlb-miss",
+            DropReason::QueueFull => "queue-full",
+            DropReason::L1Miss => "l1-miss",
+            DropReason::Squashed => "squashed",
+        }
+    }
+}
+
+/// What kind of pipeline flush hit an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushKind {
+    /// Value (or DLVP address) misprediction.
+    ValueMispredict,
+    /// Memory-ordering violation.
+    MemOrder,
+}
+
+/// One instrumentation event. Every event is emitted with the cycle it
+/// happened at (the first argument of [`Probe::emit`]); cycles quoted
+/// inside the payload are absolute simulated cycles too.
+///
+/// Memory tiers travel as an index into `[L1, MSHR, L2, LLC, DRAM]`
+/// (this crate sits below `rfp-mem`, so it cannot name `HitLevel`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeEvent {
+    /// A micro-op entered the window (rename/allocate).
+    Alloc {
+        /// Program-order sequence number.
+        seq: SeqNum,
+        /// Program counter.
+        pc: Pc,
+        /// Micro-op class.
+        class: UopClass,
+    },
+    /// A micro-op's execution was scheduled: issue and completion times
+    /// are known (emitted at issue for simple ops, at data-return
+    /// scheduling for loads).
+    Execute {
+        /// Sequence number.
+        seq: SeqNum,
+        /// Micro-op class.
+        class: UopClass,
+        /// Cycle execution (AGU for memory ops) started.
+        issue: Cycle,
+        /// Cycle the result is available.
+        complete: Cycle,
+        /// Serving tier index for loads (`None`: forwarded or non-load).
+        level: Option<u8>,
+        /// The load was served by store-to-load forwarding.
+        forwarded: bool,
+    },
+    /// A micro-op retired.
+    Retire {
+        /// Sequence number.
+        seq: SeqNum,
+    },
+    /// A flush squashed execution younger than (and for ordering
+    /// violations, including) this instruction.
+    Flush {
+        /// Sequence number of the instruction at the flush point.
+        seq: SeqNum,
+        /// What triggered the flush.
+        kind: FlushKind,
+    },
+    /// A speculatively woken micro-op failed the scoreboard check and
+    /// will re-issue.
+    SchedReissue {
+        /// Sequence number.
+        seq: SeqNum,
+    },
+    /// A prefetch packet entered the RFP queue.
+    RfpInject {
+        /// The load's sequence number.
+        seq: SeqNum,
+        /// The load's program counter.
+        pc: Pc,
+        /// Predicted address carried by the packet.
+        addr: Addr,
+    },
+    /// A prefetch won L1 arbitration and is fetching data.
+    RfpExecute {
+        /// The load's sequence number.
+        seq: SeqNum,
+        /// Predicted address.
+        addr: Addr,
+        /// Cycle the data lands in the physical register.
+        complete: Cycle,
+        /// Serving tier index.
+        level: u8,
+        /// Cycles the packet waited in the RFP queue.
+        queued_for: Cycle,
+    },
+    /// The load issued and judged its prefetch: consumed it (useful) or
+    /// rejected it (wrong address / stale data).
+    RfpResolve {
+        /// The load's sequence number.
+        seq: SeqNum,
+        /// The load consumed the prefetched data.
+        useful: bool,
+        /// The data was ready by load issue + 1 (§5.2.2 fully hidden).
+        fully_hidden: bool,
+        /// Cycle the prefetched data was (or would be) available.
+        rfp_complete: Cycle,
+        /// Cycle the load issued.
+        load_issue: Cycle,
+    },
+    /// A prefetch packet died without the load judging it.
+    RfpDrop {
+        /// The load's sequence number.
+        seq: SeqNum,
+        /// Why the packet died.
+        reason: DropReason,
+    },
+    /// The memory hierarchy served an access (demand, store commit, or
+    /// RFP lookup).
+    MemAccess {
+        /// Accessed address.
+        addr: Addr,
+        /// Serving tier index (1 = merged into an in-flight MSHR).
+        level: u8,
+        /// Cycle the data is available.
+        complete: Cycle,
+        /// The DTLB/STLB missed and a page walk was performed.
+        tlb_walk: bool,
+        /// The access was a store commit.
+        is_store: bool,
+    },
+    /// An L1 port request was denied this cycle (port contention).
+    PortDenied {
+        /// Requesting client index: 0 demand load, 1 RFP, 2 AP probe.
+        client: u8,
+    },
+    /// The core reset its statistics (end of the warmup window). Sinks
+    /// that mirror `CoreStats` semantics reset here too.
+    StatsReset,
+}
+
+/// A sink for [`ProbeEvent`]s, threaded through the core and memory
+/// hierarchy as a generic parameter.
+///
+/// Implementations with `ENABLED = false` cost nothing: every call site
+/// is guarded by `if P::ENABLED`, a constant the compiler folds away.
+pub trait Probe {
+    /// Whether call sites should construct and emit events at all.
+    const ENABLED: bool;
+
+    /// Receives one event at `cycle`.
+    fn emit(&mut self, cycle: Cycle, event: ProbeEvent);
+}
+
+/// The default probe: compiles to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _cycle: Cycle, _event: ProbeEvent) {}
+}
+
+impl<P: Probe> Probe for &mut P {
+    const ENABLED: bool = P::ENABLED;
+
+    #[inline(always)]
+    fn emit(&mut self, cycle: Cycle, event: ProbeEvent) {
+        (**self).emit(cycle, event);
+    }
+}
+
+/// A probe that fans one event stream out to two sinks (trace + metrics
+/// in one run).
+#[derive(Debug, Default)]
+pub struct TeeProbe<A, B> {
+    /// First sink.
+    pub a: A,
+    /// Second sink.
+    pub b: B,
+}
+
+impl<A: Probe, B: Probe> TeeProbe<A, B> {
+    /// Wraps two sinks.
+    pub fn new(a: A, b: B) -> Self {
+        TeeProbe { a, b }
+    }
+}
+
+impl<A: Probe, B: Probe> Probe for TeeProbe<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn emit(&mut self, cycle: Cycle, event: ProbeEvent) {
+        if A::ENABLED {
+            self.a.emit(cycle, event);
+        }
+        if B::ENABLED {
+            self.b.emit(cycle, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct CountProbe(u64);
+    impl Probe for CountProbe {
+        const ENABLED: bool = true;
+        fn emit(&mut self, _cycle: Cycle, _event: ProbeEvent) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn noop_probe_is_disabled_at_compile_time() {
+        // Const blocks make these compile-time proofs, which is the claim.
+        const {
+            assert!(!NoopProbe::ENABLED);
+            assert!(!<&mut NoopProbe as Probe>::ENABLED);
+            assert!(!TeeProbe::<NoopProbe, NoopProbe>::ENABLED);
+        }
+    }
+
+    #[test]
+    fn tee_probe_fans_out_to_both_sinks() {
+        const { assert!(TeeProbe::<CountProbe, NoopProbe>::ENABLED) };
+        let mut tee = TeeProbe::new(CountProbe::default(), CountProbe::default());
+        tee.emit(1, ProbeEvent::StatsReset);
+        tee.emit(
+            2,
+            ProbeEvent::Retire {
+                seq: SeqNum::new(0),
+            },
+        );
+        assert_eq!(tee.a.0, 2);
+        assert_eq!(tee.b.0, 2);
+    }
+
+    #[test]
+    fn mut_ref_probe_forwards() {
+        fn feed<P: Probe>(mut p: P) {
+            p.emit(5, ProbeEvent::StatsReset);
+        }
+        let mut c = CountProbe::default();
+        feed(&mut c);
+        assert_eq!(c.0, 1);
+    }
+
+    #[test]
+    fn drop_reason_indices_match_stats_layout() {
+        // rfp_stats::ObsMetrics::rfp_drops_over_time documents the reason
+        // order; the enum discriminants are that index.
+        assert_eq!(DropReason::LoadFirst as usize, 0);
+        assert_eq!(DropReason::TlbMiss as usize, 1);
+        assert_eq!(DropReason::QueueFull as usize, 2);
+        assert_eq!(DropReason::L1Miss as usize, 3);
+        assert_eq!(DropReason::Squashed as usize, 4);
+        assert_eq!(rfp_stats::DROP_REASONS, 5);
+    }
+}

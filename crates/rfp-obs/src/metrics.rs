@@ -1,0 +1,210 @@
+//! The histogram/metrics sink: folds the event stream into
+//! [`rfp_stats::ObsMetrics`].
+
+use rfp_stats::ObsMetrics;
+use rfp_types::Cycle;
+
+use crate::{Probe, ProbeEvent, UopClass};
+
+/// Collects log2-bucketed latency histograms and drop-reason timelines
+/// from a probe event stream.
+///
+/// The sink is stateless beyond the metrics themselves (every event
+/// carries the cycles it needs), so per-workload metrics merge across
+/// the work-stealing engine by plain addition — deterministic in any
+/// order (see `rfp-bench/tests/parallel_determinism.rs`).
+///
+/// On [`ProbeEvent::StatsReset`] (end of the core's warmup window) the
+/// collected metrics reset, mirroring `CoreStats` semantics: histograms
+/// cover the measured window only.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSink {
+    metrics: ObsMetrics,
+}
+
+impl MetricsSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &ObsMetrics {
+        &self.metrics
+    }
+
+    /// Consumes the sink, returning the collected metrics.
+    pub fn into_metrics(self) -> ObsMetrics {
+        self.metrics
+    }
+}
+
+impl Probe for MetricsSink {
+    const ENABLED: bool = true;
+
+    fn emit(&mut self, cycle: Cycle, event: ProbeEvent) {
+        let m = &mut self.metrics;
+        match event {
+            ProbeEvent::Execute {
+                class: UopClass::Load,
+                issue,
+                complete,
+                level,
+                forwarded,
+                ..
+            } => {
+                let lat = complete.saturating_sub(issue);
+                m.load_use_latency.record(lat);
+                if !forwarded {
+                    if let Some(l) = level {
+                        if let Some(h) = m.load_latency_by_level.get_mut(l as usize) {
+                            h.record(lat);
+                        }
+                    }
+                }
+            }
+            ProbeEvent::RfpExecute { queued_for, .. } => {
+                m.rfp_queue_wait.record(queued_for);
+            }
+            ProbeEvent::RfpResolve {
+                useful: true,
+                rfp_complete,
+                load_issue,
+                ..
+            } => {
+                m.rfp_complete_rel_issue
+                    .record(rfp_complete as i64 - load_issue as i64);
+            }
+            ProbeEvent::RfpDrop { reason, .. } => {
+                m.rfp_drops_over_time[ObsMetrics::drop_window(cycle)][reason as usize] += 1;
+            }
+            ProbeEvent::StatsReset => {
+                *m = ObsMetrics::default();
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DropReason;
+    use rfp_types::{Addr, SeqNum};
+
+    fn seq(n: u64) -> SeqNum {
+        SeqNum::new(n)
+    }
+
+    #[test]
+    fn load_execute_feeds_latency_histograms() {
+        let mut s = MetricsSink::new();
+        s.emit(
+            100,
+            ProbeEvent::Execute {
+                seq: seq(1),
+                class: UopClass::Load,
+                issue: 100,
+                complete: 105,
+                level: Some(0),
+                forwarded: false,
+            },
+        );
+        s.emit(
+            100,
+            ProbeEvent::Execute {
+                seq: seq(2),
+                class: UopClass::Load,
+                issue: 100,
+                complete: 103,
+                level: None,
+                forwarded: true,
+            },
+        );
+        // Non-loads never touch the load histograms.
+        s.emit(
+            100,
+            ProbeEvent::Execute {
+                seq: seq(3),
+                class: UopClass::Alu,
+                issue: 100,
+                complete: 101,
+                level: None,
+                forwarded: false,
+            },
+        );
+        let m = s.metrics();
+        assert_eq!(m.load_use_latency.total(), 2);
+        assert_eq!(m.load_latency_by_level[0].total(), 1, "forwarded excluded");
+    }
+
+    #[test]
+    fn rfp_events_feed_timeliness_and_drops() {
+        let mut s = MetricsSink::new();
+        s.emit(
+            50,
+            ProbeEvent::RfpExecute {
+                seq: seq(1),
+                addr: Addr::new(0x1000),
+                complete: 57,
+                level: 0,
+                queued_for: 3,
+            },
+        );
+        s.emit(
+            60,
+            ProbeEvent::RfpResolve {
+                seq: seq(1),
+                useful: true,
+                fully_hidden: true,
+                rfp_complete: 57,
+                load_issue: 60,
+            },
+        );
+        // A rejected prefetch must not skew the timeliness histogram.
+        s.emit(
+            61,
+            ProbeEvent::RfpResolve {
+                seq: seq(2),
+                useful: false,
+                fully_hidden: false,
+                rfp_complete: 70,
+                load_issue: 61,
+            },
+        );
+        s.emit(
+            70,
+            ProbeEvent::RfpDrop {
+                seq: seq(3),
+                reason: DropReason::TlbMiss,
+            },
+        );
+        let m = s.metrics();
+        assert_eq!(m.rfp_queue_wait.total(), 1);
+        assert_eq!(m.rfp_complete_rel_issue.total(), 1);
+        assert_eq!(m.fully_hidden_frac(), 1.0);
+        assert_eq!(m.drops_by_reason(), [0, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn stats_reset_clears_warmup_samples() {
+        let mut s = MetricsSink::new();
+        s.emit(
+            10,
+            ProbeEvent::RfpDrop {
+                seq: seq(1),
+                reason: DropReason::LoadFirst,
+            },
+        );
+        s.emit(20, ProbeEvent::StatsReset);
+        assert_eq!(s.metrics().drops_by_reason(), [0; 5]);
+        s.emit(
+            30,
+            ProbeEvent::RfpDrop {
+                seq: seq(2),
+                reason: DropReason::Squashed,
+            },
+        );
+        assert_eq!(s.into_metrics().drops_by_reason(), [0, 0, 0, 0, 1]);
+    }
+}

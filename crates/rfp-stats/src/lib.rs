@@ -91,6 +91,9 @@ pub struct CoreStats {
     pub rfp_dropped_queue_full: u64,
     /// RFP: packets dropped on an L1 miss (only when configured to drop).
     pub rfp_dropped_l1_miss: u64,
+    /// RFP: queued or in-flight packets killed by a pipeline flush
+    /// squashing their load before it could consume (or reject) the data.
+    pub rfp_dropped_squashed: u64,
     /// RFP: useful prefetches that completed before the load dispatched
     /// (latency fully hidden, §5.2.2).
     pub rfp_fully_hidden: u64,
@@ -164,6 +167,34 @@ impl CoreStats {
     pub fn cycles_per_sec(&self) -> f64 {
         per_second(self.total_cycles, self.throughput.host_nanos)
     }
+
+    /// Sum of every terminal RFP bucket: each injected prefetch must end
+    /// up useful, wrong-address, or dropped for exactly one reason.
+    ///
+    /// Queue-full rejections are *not* terminal buckets — those packets
+    /// never entered the funnel (`rfp_injected` is not incremented for
+    /// them).
+    pub fn rfp_terminal_total(&self) -> u64 {
+        self.rfp_useful
+            + self.rfp_wrong_addr
+            + self.rfp_dropped_load_first
+            + self.rfp_dropped_tlb
+            + self.rfp_dropped_l1_miss
+            + self.rfp_dropped_squashed
+    }
+
+    /// Checks the RFP funnel invariant: every injected prefetch has
+    /// landed in exactly one terminal bucket.
+    ///
+    /// Holds with equality at the end of a run whose statistics were
+    /// never reset mid-flight (no warmup window): the ROB drains before
+    /// the core stops, so no packet can still be queued or in flight.
+    /// With a warmup reset the two sides can legitimately diverge
+    /// (packets injected before the reset resolve after it), so callers
+    /// only assert this on warmup-free runs.
+    pub fn funnel_consistent(&self) -> bool {
+        self.rfp_terminal_total() == self.rfp_injected
+    }
 }
 
 fn per_second(count: u64, nanos: u64) -> f64 {
@@ -171,6 +202,268 @@ fn per_second(count: u64, nanos: u64) -> f64 {
         0.0
     } else {
         count as f64 * 1e9 / nanos as f64
+    }
+}
+
+/// Number of buckets in a [`Log2Histogram`]: bucket 0 plus one bucket
+/// per power of two up to values ≥ 2³¹ (the last bucket is open-ended).
+pub const LOG2_BUCKETS: usize = 33;
+
+/// Number of time windows in [`ObsMetrics::rfp_drops_over_time`].
+pub const DROP_WINDOWS: usize = 16;
+
+/// Cycles per drop-reason time window (`1 << DROP_WINDOW_SHIFT`), fixed
+/// so per-thread sinks bucket identically and merge deterministically.
+pub const DROP_WINDOW_SHIFT: u32 = 12;
+
+/// Number of RFP drop reasons tracked over time:
+/// `[load-first, tlb-miss, queue-full, l1-miss, squashed]`.
+pub const DROP_REASONS: usize = 5;
+
+/// A log2-bucketed histogram of non-negative values (cycle counts).
+///
+/// Bucket 0 counts exact zeros; bucket `k ≥ 1` counts values in
+/// `[2^(k-1), 2^k)`; the last bucket is open above. Merging is plain
+/// addition, so aggregation across threads is order-independent.
+///
+/// # Examples
+///
+/// ```
+/// use rfp_stats::Log2Histogram;
+/// let mut h = Log2Histogram::default();
+/// h.record(0);
+/// h.record(1);
+/// h.record(5); // [4, 8) -> bucket 3
+/// assert_eq!(h.buckets[0], 1);
+/// assert_eq!(h.buckets[1], 1);
+/// assert_eq!(h.buckets[3], 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Log2Histogram {
+    /// Per-bucket counts (see type docs for the bucket boundaries).
+    pub buckets: [u64; LOG2_BUCKETS],
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; LOG2_BUCKETS],
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Bucket index for `v`.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(LOG2_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive-exclusive value range `[lo, hi)` of bucket `k` (the last
+    /// bucket's `hi` is `u64::MAX`).
+    pub fn bucket_range(k: usize) -> (u64, u64) {
+        match k {
+            0 => (0, 1),
+            k if k >= LOG2_BUCKETS - 1 => (1 << (LOG2_BUCKETS - 2), u64::MAX),
+            k => (1 << (k - 1), 1 << k),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Total recorded count.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Count of recorded values `<= v` assuming the worst (every value in
+    /// a partially covered bucket counts only if the whole bucket does).
+    pub fn count_le(&self, v: u64) -> u64 {
+        let k = Self::bucket_of(v);
+        self.buckets.iter().take(k).sum::<u64>().saturating_add(
+            if Self::bucket_range(k).1 <= v.saturating_add(1) {
+                self.buckets[k]
+            } else {
+                0
+            },
+        )
+    }
+
+    /// Adds `other`'s counts into `self` (commutative and associative).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// JSON array of the bucket counts.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self.buckets.iter().map(|b| b.to_string()).collect();
+        format!("[{}]", cells.join(","))
+    }
+}
+
+/// A log2 histogram over signed values: one [`Log2Histogram`] for the
+/// magnitudes of negative values, one for non-negative values.
+///
+/// Used for *prefetch completion relative to load issue*: negative means
+/// the data landed before the load even reached the AGU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SignedLog2Histogram {
+    /// Histogram of `-v` for recorded values `v < 0`.
+    pub neg: Log2Histogram,
+    /// Histogram of recorded values `v >= 0`.
+    pub nonneg: Log2Histogram,
+}
+
+impl SignedLog2Histogram {
+    /// Records one signed value.
+    pub fn record(&mut self, v: i64) {
+        if v < 0 {
+            self.neg.record(v.unsigned_abs());
+        } else {
+            self.nonneg.record(v as u64);
+        }
+    }
+
+    /// Total recorded count.
+    pub fn total(&self) -> u64 {
+        self.neg.total() + self.nonneg.total()
+    }
+
+    /// Count of recorded values `<= v` (for non-negative `v` only; the
+    /// use case is "completed no later than issue + v").
+    pub fn count_le(&self, v: u64) -> u64 {
+        self.neg.total() + self.nonneg.count_le(v)
+    }
+
+    /// Adds `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &SignedLog2Histogram) {
+        self.neg.merge(&other.neg);
+        self.nonneg.merge(&other.nonneg);
+    }
+
+    /// JSON object with `neg` and `nonneg` bucket arrays.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"neg\":{},\"nonneg\":{}}}",
+            self.neg.to_json(),
+            self.nonneg.to_json()
+        )
+    }
+}
+
+/// Latency-distribution metrics collected by an observability sink
+/// (`rfp-obs`'s `MetricsSink`) during one simulation.
+///
+/// Everything here is count-based and merges by addition, so aggregating
+/// per-workload metrics across the work-stealing engine's threads is
+/// deterministic in any order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsMetrics {
+    /// Load issue (AGU) to data availability, all retiring load
+    /// executions — the paper's "load-to-use" latency.
+    pub load_use_latency: Log2Histogram,
+    /// Load-to-use latency split by serving tier
+    /// `[L1, MSHR, L2, LLC, DRAM]` (forwarded loads are excluded).
+    pub load_latency_by_level: [Log2Histogram; 5],
+    /// Prefetch completion minus the load's own issue cycle, for useful
+    /// prefetches. Values ≤ 1 are the paper's "fully hidden" class
+    /// (§5.2.2); larger values say how late the prefetch was.
+    pub rfp_complete_rel_issue: SignedLog2Histogram,
+    /// Cycles a prefetch packet waited in the RFP queue before winning an
+    /// L1 port.
+    pub rfp_queue_wait: Log2Histogram,
+    /// RFP drops per `[time window][reason]`; windows are
+    /// `1 << DROP_WINDOW_SHIFT` cycles wide (last window open-ended),
+    /// reasons are `[load-first, tlb-miss, queue-full, l1-miss, squashed]`.
+    pub rfp_drops_over_time: [[u64; DROP_REASONS]; DROP_WINDOWS],
+}
+
+impl ObsMetrics {
+    /// The time-window index for an event at `cycle`.
+    pub fn drop_window(cycle: u64) -> usize {
+        ((cycle >> DROP_WINDOW_SHIFT) as usize).min(DROP_WINDOWS - 1)
+    }
+
+    /// Fraction of useful prefetches whose data was ready by load issue
+    /// + 1 (the fully-hidden class).
+    pub fn fully_hidden_frac(&self) -> f64 {
+        ratio(
+            self.rfp_complete_rel_issue.count_le(1),
+            self.rfp_complete_rel_issue.total(),
+        )
+    }
+
+    /// Total RFP drops per reason, summed over time windows.
+    pub fn drops_by_reason(&self) -> [u64; DROP_REASONS] {
+        let mut out = [0u64; DROP_REASONS];
+        for w in &self.rfp_drops_over_time {
+            for (o, c) in out.iter_mut().zip(w) {
+                *o += c;
+            }
+        }
+        out
+    }
+
+    /// Adds `other`'s counts into `self` (commutative and associative,
+    /// hence merge-order-independent).
+    pub fn merge(&mut self, other: &ObsMetrics) {
+        self.load_use_latency.merge(&other.load_use_latency);
+        for (a, b) in self
+            .load_latency_by_level
+            .iter_mut()
+            .zip(&other.load_latency_by_level)
+        {
+            a.merge(b);
+        }
+        self.rfp_complete_rel_issue
+            .merge(&other.rfp_complete_rel_issue);
+        self.rfp_queue_wait.merge(&other.rfp_queue_wait);
+        for (a, b) in self
+            .rfp_drops_over_time
+            .iter_mut()
+            .zip(&other.rfp_drops_over_time)
+        {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+    }
+
+    /// Hand-written JSON rendering (the workspace builds without serde).
+    pub fn to_json(&self) -> String {
+        let levels: Vec<String> = self
+            .load_latency_by_level
+            .iter()
+            .map(Log2Histogram::to_json)
+            .collect();
+        let windows: Vec<String> = self
+            .rfp_drops_over_time
+            .iter()
+            .map(|w| {
+                let cells: Vec<String> = w.iter().map(|c| c.to_string()).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"load_use_latency\":{},\"load_latency_by_level\":[{}],\
+             \"rfp_complete_rel_issue\":{},\"rfp_queue_wait\":{},\
+             \"drop_window_cycles\":{},\"rfp_drops_over_time\":[{}]}}",
+            self.load_use_latency.to_json(),
+            levels.join(","),
+            self.rfp_complete_rel_issue.to_json(),
+            self.rfp_queue_wait.to_json(),
+            1u64 << DROP_WINDOW_SHIFT,
+            windows.join(","),
+        )
     }
 }
 
@@ -183,6 +476,9 @@ pub struct SimReport {
     pub category: String,
     /// Raw counters.
     pub stats: CoreStats,
+    /// Latency-distribution metrics, when the run was instrumented with a
+    /// metrics sink (`None` for ordinary uninstrumented runs).
+    pub obs: Option<Box<ObsMetrics>>,
 }
 
 impl SimReport {
@@ -192,6 +488,7 @@ impl SimReport {
             workload: workload.into(),
             category: category.into(),
             stats,
+            obs: None,
         }
     }
 
@@ -277,10 +574,15 @@ impl SimReport {
     pub fn canonical_text(&self) -> String {
         let mut stats = self.stats.clone();
         stats.throughput = HostThroughput::default();
-        format!(
+        let mut out = format!(
             "workload={} category={} stats={stats:?}",
             self.workload, self.category
-        )
+        );
+        if let Some(obs) = &self.obs {
+            out.push_str(" obs=");
+            out.push_str(&obs.to_json());
+        }
+        out
     }
 }
 
@@ -506,6 +808,130 @@ mod tests {
         assert_eq!(r.ipc(), 0.0);
         assert_eq!(r.coverage(), 0.0);
         assert_eq!(r.l1_hit_frac(), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_fractions_never_poison_aggregates() {
+        // A short/empty trace retires zero loads and injects zero
+        // prefetches; every derived fraction must be 0.0 (not NaN) so
+        // suite-level means and geomeans stay finite.
+        let r = report(0, 0, 0, 0);
+        for v in [
+            r.injected_frac(),
+            r.executed_frac(),
+            r.wrong_frac(),
+            r.fully_hidden_frac(),
+            r.vp_coverage(),
+            r.ready_at_alloc_frac(),
+        ] {
+            assert_eq!(v, 0.0);
+        }
+        assert!(r.hit_distribution().iter().all(|&v| v == 0.0));
+        let m = mean_frac(&[r], |r| r.coverage());
+        assert!(m.is_finite() && m == 0.0);
+        let obs = ObsMetrics::default();
+        assert_eq!(obs.fully_hidden_frac(), 0.0);
+    }
+
+    #[test]
+    fn funnel_consistency_accounts_every_injection() {
+        let mut s = CoreStats::default();
+        s.rfp_injected = 10;
+        s.rfp_useful = 4;
+        s.rfp_wrong_addr = 1;
+        s.rfp_dropped_load_first = 2;
+        s.rfp_dropped_tlb = 1;
+        s.rfp_dropped_l1_miss = 1;
+        s.rfp_dropped_squashed = 1;
+        assert_eq!(s.rfp_terminal_total(), 10);
+        assert!(s.funnel_consistent());
+        // Queue-full rejections never entered the funnel: they must not
+        // count toward the terminal total.
+        s.rfp_dropped_queue_full = 7;
+        assert!(s.funnel_consistent());
+        // A leaked packet (injected but never terminal) is caught.
+        s.rfp_injected += 1;
+        assert!(!s.funnel_consistent());
+    }
+
+    #[test]
+    fn log2_histogram_buckets_powers_of_two() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), LOG2_BUCKETS - 1);
+        let mut h = Log2Histogram::default();
+        for v in [0, 1, 1, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.count_le(1), 3);
+        assert_eq!(h.count_le(3), 4);
+        assert_eq!(h.to_json().matches(',').count(), LOG2_BUCKETS - 1);
+    }
+
+    #[test]
+    fn signed_histogram_splits_on_sign() {
+        let mut h = SignedLog2Histogram::default();
+        h.record(-5);
+        h.record(0);
+        h.record(1);
+        h.record(9);
+        assert_eq!(h.total(), 4);
+        // "completed by issue + 1": the negative, the zero and the one.
+        assert_eq!(h.count_le(1), 3);
+        assert!(h.to_json().contains("\"neg\""));
+    }
+
+    #[test]
+    fn obs_metrics_merge_is_order_independent() {
+        let mut a = ObsMetrics::default();
+        a.load_use_latency.record(5);
+        a.rfp_complete_rel_issue.record(-3);
+        a.rfp_drops_over_time[0][1] = 2;
+        let mut b = ObsMetrics::default();
+        b.load_use_latency.record(70);
+        b.load_latency_by_level[4].record(300);
+        b.rfp_queue_wait.record(2);
+        b.rfp_drops_over_time[ObsMetrics::drop_window(1 << 20)][4] = 1;
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert_eq!(ab.drops_by_reason(), [0, 2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn obs_metrics_json_is_parseable_shape() {
+        let m = ObsMetrics::default();
+        let j = m.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "load_use_latency",
+            "load_latency_by_level",
+            "rfp_complete_rel_issue",
+            "rfp_queue_wait",
+            "rfp_drops_over_time",
+        ] {
+            assert!(j.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn canonical_text_includes_obs_when_present() {
+        let mut r = report(100, 450, 100, 43);
+        let without = r.canonical_text();
+        let mut obs = ObsMetrics::default();
+        obs.load_use_latency.record(5);
+        r.obs = Some(Box::new(obs));
+        let with = r.canonical_text();
+        assert_ne!(without, with);
+        assert!(with.contains("obs={"));
     }
 
     #[test]

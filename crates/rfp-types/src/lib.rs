@@ -37,6 +37,37 @@ pub use ids::{ArchReg, Pc, PhysReg, SeqNum};
 /// clock domain in this model).
 pub type Cycle = u64;
 
+/// Escapes `s` for embedding inside a JSON string literal.
+///
+/// The workspace builds offline (no serde), so every JSON surface —
+/// metrics files, Chrome traces, telemetry JSONL — hand-writes its
+/// output; this is the one escaping routine they all share.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(rfp_types::json_escape("plain"), "plain");
+/// assert_eq!(rfp_types::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+/// assert_eq!(rfp_types::json_escape("x\ny"), "x\\ny");
+/// ```
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Returns the geometric mean of `values`.
 ///
 /// This is the mean the paper (and most architecture papers) use to aggregate
@@ -82,6 +113,13 @@ mod tests {
         assert!(geomean(&[1.0, 0.0]).is_none());
         assert!(geomean(&[1.0, -2.0]).is_none());
         assert!(geomean(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn json_escape_handles_control_chars() {
+        assert_eq!(json_escape("spec17_mcf"), "spec17_mcf");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("tab\there"), "tab\\there");
         assert!(geomean(&[1.0, f64::INFINITY]).is_none());
     }
 

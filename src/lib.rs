@@ -7,6 +7,8 @@
 //! * [`mem`] — caches, TLBs, MSHRs, ports, oracle modes
 //! * [`predictors`] — PT/PAT, value/address predictors, store sets, gshare
 //! * [`core`] — the OOO core with the RFP engine
+//! * [`obs`] — pipeline/prefetch observability: probes, Chrome traces,
+//!   latency histograms
 //! * [`stats`] — counters, reports, formatting
 //! * [`types`] — shared ids and address types
 //!
@@ -28,6 +30,7 @@
 
 pub use rfp_core as core;
 pub use rfp_mem as mem;
+pub use rfp_obs as obs;
 pub use rfp_predictors as predictors;
 pub use rfp_stats as stats;
 pub use rfp_trace as trace;

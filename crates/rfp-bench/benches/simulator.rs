@@ -10,7 +10,7 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rfp_bench::{default_threads, run_grid};
+use rfp_bench::{default_threads, run_grid, update_bench_json};
 use rfp_core::{
     simulate_workload, simulate_workload_probed, CalendarQueue, CoreConfig, OracleMode, VpMode,
 };
@@ -176,10 +176,11 @@ fn time_ns(f: impl Fn() -> u64) -> (f64, u64) {
     (t0.elapsed().as_nanos() as f64, sum)
 }
 
-/// One-shot engine measurements written to `BENCH_engine.json` at the
+/// One-shot engine measurements merged into `BENCH_engine.json` at the
 /// workspace root: event-queue ns/op for both implementations and
 /// end-to-end uops/sec through the work-stealing grid at 1 thread vs
-/// the machine's parallelism.
+/// the machine's parallelism (skipped when the machine has one core —
+/// comparing a 1-thread grid against itself says nothing).
 fn bench_engine_json(_c: &mut Criterion) {
     const OPS: u64 = 200_000;
     let (heap_ns, a) = time_ns(|| drive_heap(OPS));
@@ -198,11 +199,16 @@ fn bench_engine_json(_c: &mut Criterion) {
     let t0 = Instant::now();
     let serial = run_grid(&cfg, grid_len, 1);
     let serial_secs = t0.elapsed().as_secs_f64();
-    let t1 = Instant::now();
-    let parallel = run_grid(&cfg, grid_len, threads);
-    let parallel_secs = t1.elapsed().as_secs_f64();
     let uops = uops_of(&serial);
-    assert_eq!(uops, uops_of(&parallel));
+    // The serial-vs-parallel comparison only means something with real
+    // parallel hardware behind it.
+    let parallel = (threads > 1).then(|| {
+        let t1 = Instant::now();
+        let parallel = run_grid(&cfg, grid_len, threads);
+        let parallel_secs = t1.elapsed().as_secs_f64();
+        assert_eq!(uops, uops_of(&parallel));
+        parallel_secs
+    });
 
     // Probe-overhead spot check: one-shot timings of the same workload
     // with no probe, the noop probe, and the two real sinks.
@@ -233,19 +239,47 @@ fn bench_engine_json(_c: &mut Criterion) {
         .expect("valid");
     });
 
-    let json = format!(
-        "{{\n  \"event_queue\": {{\n    \"ops\": {OPS},\n    \"binary_heap_ns_per_op\": {:.2},\n    \"calendar_ns_per_op\": {:.2},\n    \"speedup\": {:.3}\n  }},\n  \"engine\": {{\n    \"workloads\": {},\n    \"measured_uops\": {uops},\n    \"threads\": {threads},\n    \"serial_uops_per_sec\": {:.0},\n    \"parallel_uops_per_sec\": {:.0},\n    \"parallel_speedup\": {:.3}\n  }},\n  \"probe\": {{\n    \"uops\": {probe_len},\n    \"uninstrumented_secs\": {plain_secs:.6},\n    \"noop_probe_secs\": {noop_secs:.6},\n    \"metrics_sink_secs\": {metrics_secs:.6},\n    \"chrome_trace_sink_secs\": {chrome_secs:.6}\n  }}\n}}\n",
+    let event_queue = format!(
+        "{{\n    \"ops\": {OPS},\n    \"binary_heap_ns_per_op\": {:.2},\n    \"calendar_ns_per_op\": {:.2},\n    \"speedup\": {:.3}\n  }}",
         heap_ns / OPS as f64,
         cal_ns / OPS as f64,
         heap_ns / cal_ns,
+    );
+    let parallel_fields = match parallel {
+        Some(parallel_secs) => format!(
+            "\"parallel_uops_per_sec\": {:.0},\n    \"parallel_speedup\": {:.3}",
+            uops as f64 / parallel_secs,
+            serial_secs / parallel_secs,
+        ),
+        None => {
+            "\"parallel_uops_per_sec\": null,\n    \"parallel_speedup\": null,\n    \"parallel_comparison\": \"n/a: one hardware thread available\"".to_string()
+        }
+    };
+    let engine = format!(
+        "{{\n    \"workloads\": {},\n    \"measured_uops\": {uops},\n    \"threads\": {threads},\n    \"serial_uops_per_sec\": {:.0},\n    {parallel_fields}\n  }}",
         serial.first().map_or(0, Vec::len),
         uops as f64 / serial_secs,
-        uops as f64 / parallel_secs,
-        serial_secs / parallel_secs,
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    std::fs::write(path, &json).expect("write BENCH_engine.json");
-    println!("wrote {path}:\n{json}");
+    let probe = format!(
+        "{{\n    \"uops\": {probe_len},\n    \"uninstrumented_secs\": {plain_secs:.6},\n    \"noop_probe_secs\": {noop_secs:.6},\n    \"metrics_sink_secs\": {metrics_secs:.6},\n    \"chrome_trace_sink_secs\": {chrome_secs:.6}\n  }}",
+    );
+    let path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_engine.json"
+    ));
+    update_bench_json(
+        path,
+        &[
+            ("event_queue", event_queue),
+            ("engine", engine),
+            ("probe", probe),
+        ],
+    )
+    .expect("write BENCH_engine.json");
+    println!(
+        "merged event_queue/engine/probe sections into {}",
+        path.display()
+    );
 }
 
 criterion_group!(

@@ -47,7 +47,16 @@ fn main() {
         take_flag(&mut args, "--trace-workload").unwrap_or_else(|| "spec17_mcf".to_string());
     let metrics_out = take_flag(&mut args, "--metrics-out");
     let telemetry_out = take_flag(&mut args, "--telemetry-out");
-    let len: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    // Positional length, strictly parsed — a typo like `100_000` must not
+    // silently fall back to the default. `RFP_TRACE_LEN` (also strict)
+    // applies when no positional length is given.
+    let len: u64 = match args.first() {
+        Some(s) => s.parse().unwrap_or_else(|e| {
+            eprintln!("error: trace length {s:?} is not a valid value: {e}");
+            std::process::exit(2);
+        }),
+        None => rfp_bench::trace_len_from_env(100_000),
+    };
     let t0 = std::time::Instant::now();
     // All four configurations go into one work-stealing grid so the
     // slowest (oracle) rows don't serialise behind the cheap baseline.

@@ -9,8 +9,10 @@
 //! observability extra `timeliness` (not part of `all`). Set
 //! `RFP_TRACE_LEN` to change the measured micro-ops per workload (default
 //! 120000). `--threads N` (or `RFP_THREADS`) sizes the work-stealing pool;
-//! the default is the machine's available parallelism. Output is
-//! byte-identical at any thread count.
+//! the default is the machine's available parallelism. `RFP_WARM_MODE`
+//! (`off` | `exact` | `checkpoint`, default `exact`) controls warm-state
+//! sharing across the grid; `off` and `exact` are byte-identical. Output
+//! is byte-identical at any thread count.
 //!
 //! Observability outputs (all side files; stdout stays byte-identical):
 //!
@@ -25,7 +27,7 @@
 //!   worker, queue depth at grab time, wall nanos.
 
 use rfp_bench::{
-    default_threads, metrics_suite_json, telemetry_jsonl, trace_workload_json, Harness,
+    default_threads, telemetry_jsonl, trace_len_from_env, trace_workload_json, Harness,
     DEFAULT_TRACE_LEN,
 };
 use rfp_core::CoreConfig;
@@ -73,10 +75,7 @@ fn main() {
             0
         });
     }
-    let len = std::env::var("RFP_TRACE_LEN")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_TRACE_LEN);
+    let len = trace_len_from_env(DEFAULT_TRACE_LEN);
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
         Harness::ALL_IDS.to_vec()
     } else {
@@ -94,6 +93,16 @@ fn main() {
 
     let mut h = Harness::with_threads(len, threads);
     let t0 = std::time::Instant::now();
+    // Observability passes re-simulate the RFP configs with probes
+    // attached; pinning their warm snapshots now lets those passes fork
+    // the warmup the main sweep already paid.
+    let rfp_cfg = CoreConfig::tiger_lake().with_rfp();
+    if metrics_out.is_some() || ids.contains(&"timeliness") {
+        h.pin_config(&rfp_cfg);
+        let mut dedicated = rfp_cfg.clone();
+        dedicated.ports.dedicated_rfp = dedicated.ports.load_ports;
+        h.pin_config(&dedicated);
+    }
     // Fill the cache with every config the requested experiments need in
     // one work-stealing grid, so the whole machine stays busy instead of
     // parallelising one experiment at a time.
@@ -106,9 +115,8 @@ fn main() {
         println!("{}", h.run(id));
     }
 
-    let rfp_cfg = CoreConfig::tiger_lake().with_rfp();
     if let Some(file) = &metrics_out {
-        std::fs::write(file, metrics_suite_json(&rfp_cfg, len, threads))
+        std::fs::write(file, h.metrics_json(&rfp_cfg))
             .unwrap_or_else(|e| panic!("write {file}: {e}"));
         eprintln!("wrote metrics histograms to {file}");
     }
@@ -124,8 +132,11 @@ fn main() {
         eprintln!("wrote pipeline trace to {path} (load in Perfetto or chrome://tracing)");
     }
     if let Some(file) = &telemetry_out {
-        std::fs::write(file, telemetry_jsonl(h.job_telemetry()))
-            .unwrap_or_else(|e| panic!("write {file}: {e}"));
+        // Per-job rows plus one warm-pool summary line, so CI can assert
+        // the snapshot cache actually got hit.
+        let mut out = telemetry_jsonl(h.job_telemetry());
+        out.push_str(&h.warm_pool().stats().jsonl_line());
+        std::fs::write(file, out).unwrap_or_else(|e| panic!("write {file}: {e}"));
         eprintln!("wrote {} telemetry rows to {file}", h.job_telemetry().len());
     }
 

@@ -73,10 +73,7 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
 /// attached and writes whichever outputs were requested.
 fn observe(w: &Workload, trace_out: Option<&str>, metrics_out: Option<&str>) {
     use rfp_obs::{ChromeTraceSink, MetricsSink, TeeProbe};
-    let len = std::env::var("RFP_TRACE_LEN")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(rfp_bench::DEFAULT_TRACE_LEN);
+    let len = rfp_bench::trace_len_from_env(rfp_bench::DEFAULT_TRACE_LEN);
     let cfg = rfp_core::CoreConfig::tiger_lake().with_rfp();
     let tee = TeeProbe::new(ChromeTraceSink::new(cfg.rob_entries), MetricsSink::new());
     let (_report, tee) =

@@ -14,28 +14,68 @@
 //! which makes the whole grid bit-deterministic (see
 //! `tests/parallel_determinism.rs`).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use rfp_core::{simulate_workload, simulate_workload_probed, CoreConfig};
+use rfp_core::{
+    report_for, simulate_workload, simulate_workload_probed, simulate_workload_probed_from_trace,
+    warm_up_workload, CoreConfig, VpMode, WarmState,
+};
 use rfp_obs::MetricsSink;
 use rfp_stats::SimReport;
+use rfp_trace::{MicroOp, Workload};
 use rfp_types::json_escape;
 
-/// Worker-thread count to use when the caller doesn't override it:
-/// the `RFP_THREADS` environment variable if set, otherwise the
-/// machine's available parallelism.
-pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("RFP_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+/// Reads environment variable `name` and parses it as `T`.
+///
+/// Returns `None` when the variable is unset. When it is set but
+/// malformed, exits the process with a clear error instead of silently
+/// falling back — `RFP_TRACE_LEN=120_000` used to quietly run the default
+/// length, which is exactly the kind of mistake that wastes a sweep.
+pub fn env_parsed<T: std::str::FromStr>(name: &str) -> Option<T>
+where
+    T::Err: std::fmt::Display,
+{
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse() {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("error: {name}={raw:?} is not a valid value: {e}");
+            std::process::exit(2);
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+}
+
+/// `RFP_TRACE_LEN` with strict parsing ([`env_parsed`]), or `default`
+/// when unset. Zero-length runs are rejected too.
+pub fn trace_len_from_env(default: u64) -> u64 {
+    match env_parsed::<u64>("RFP_TRACE_LEN") {
+        Some(0) => {
+            eprintln!("error: RFP_TRACE_LEN must be >= 1");
+            std::process::exit(2);
+        }
+        Some(n) => n,
+        None => default,
+    }
+}
+
+/// Worker-thread count to use when the caller doesn't override it:
+/// the `RFP_THREADS` environment variable if set (strictly parsed — a
+/// malformed or zero value is an error, not a silent fallback), otherwise
+/// the machine's available parallelism.
+pub fn default_threads() -> usize {
+    match env_parsed::<usize>("RFP_THREADS") {
+        Some(0) => {
+            eprintln!("error: RFP_THREADS must be >= 1");
+            std::process::exit(2);
+        }
+        Some(n) => n,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    }
 }
 
 /// Content hash of a configuration (FNV-1a over its `Debug` rendering).
@@ -64,6 +104,436 @@ pub fn config_key(cfg: &CoreConfig) -> u64 {
     h
 }
 
+/// How the engine reuses warmup work across the grid (`RFP_WARM_MODE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmMode {
+    /// No snapshotting at all: every job re-runs its own warmup through
+    /// the legacy per-job path. Useful as the byte-identity reference.
+    Off,
+    /// The default. Jobs whose *warmup-relevant* configuration projection
+    /// matches fork one shared [`WarmState`]; results are byte-identical
+    /// to straight-through runs by construction.
+    #[default]
+    Exact,
+    /// [`WarmMode::Exact`] plus approximate cross-config sharing: configs
+    /// that differ only in measurement-phase features (RFP, VP) warm up
+    /// once under a common *twin* baseline and transplant its caches and
+    /// predictors ([`WarmState::transplant`]). Fast, but measured numbers
+    /// are an approximation — keep it out of publication sweeps.
+    Checkpoint,
+}
+
+impl WarmMode {
+    /// Parses `RFP_WARM_MODE` (`off` | `exact` | `checkpoint`; unset means
+    /// `exact`), exiting with a clear error on anything else.
+    pub fn from_env() -> Self {
+        match std::env::var("RFP_WARM_MODE")
+            .ok()
+            .as_deref()
+            .map(str::trim)
+        {
+            None | Some("") | Some("exact") => WarmMode::Exact,
+            Some("off") => WarmMode::Off,
+            Some("checkpoint") => WarmMode::Checkpoint,
+            Some(other) => {
+                eprintln!(
+                    "error: RFP_WARM_MODE={other:?} is not a valid value \
+                     (expected off, exact, or checkpoint)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// The *warmup-relevant projection* of a configuration: `cfg` with every
+/// field that provably cannot influence warm-state construction
+/// normalized to a canonical value.
+///
+/// Two configs with equal projections produce bit-identical warm state,
+/// so their grid jobs can share one snapshot. The rule for adding fields
+/// here is conservative: a field may be normalized **only** when the
+/// simulator provably never reads it before the stats-reset boundary
+/// under the rest of the projection — anything else must stay, which
+/// `tests/parallel_determinism.rs` enforces by perturbation.
+pub fn warm_projection(cfg: &CoreConfig) -> CoreConfig {
+    let mut c = cfg.clone();
+    if !matches!(c.vp, VpMode::Epp(_)) {
+        // The core RNG is drawn only for EPP SSBF false-positive rolls;
+        // under every other VP mode the seed and rate are dead state.
+        c.seed = 0;
+        c.epp_false_positive_rate = 0.0;
+    }
+    if let Some(rfp) = c.rfp.as_mut() {
+        if !rfp.critical_only {
+            // The criticality table only consults the threshold when
+            // critical-only targeting is on.
+            rfp.criticality_threshold = 0;
+        }
+        if !c.vp.is_on() {
+            // The VP filter can only veto a prefetch when a value
+            // prediction exists to veto with.
+            rfp.vp_filter = false;
+        }
+    }
+    c
+}
+
+/// Snapshot-sharing key: [`config_key`] of the [`warm_projection`].
+pub fn warm_key(cfg: &CoreConfig) -> u64 {
+    config_key(&warm_projection(cfg))
+}
+
+/// The *twin* of a configuration for [`WarmMode::Checkpoint`]: the same
+/// memory hierarchy, branch handling, and core sizing, but with the
+/// measurement-phase features (RFP, value prediction, dedicated RFP
+/// ports) stripped, then projected. Every config in a typical sweep that
+/// varies only those features collapses onto one twin, whose warm caches
+/// and predictors are transplanted into each measured config.
+pub fn warm_twin(cfg: &CoreConfig) -> CoreConfig {
+    let mut c = cfg.clone();
+    c.rfp = None;
+    c.vp = VpMode::Off;
+    c.ports.dedicated_rfp = 0;
+    warm_projection(&c)
+}
+
+/// Counter snapshot of a [`WarmPool`] (see [`WarmPool::stats`]).
+#[derive(Debug, Clone)]
+pub struct WarmPoolStats {
+    /// The pool's sharing mode.
+    pub mode: WarmMode,
+    /// Forks served from an already-built snapshot.
+    pub snapshot_hits: u64,
+    /// Snapshots built (first touch of a `(key, workload)` cell).
+    pub snapshot_misses: u64,
+    /// Checkpoint-mode transplants performed.
+    pub transplants: u64,
+    /// Workload traces synthesized (first touch + post-eviction rebuilds).
+    pub trace_builds: u64,
+    /// Snapshots currently held live.
+    pub live_snapshots: usize,
+    /// Approximate host bytes held by live snapshots.
+    pub live_snapshot_bytes: usize,
+}
+
+impl WarmPoolStats {
+    /// Renders the stats as one JSONL line, appended to `--telemetry-out`
+    /// streams so CI can assert the pool actually worked.
+    pub fn jsonl_line(&self) -> String {
+        let mode = match self.mode {
+            WarmMode::Off => "off",
+            WarmMode::Exact => "exact",
+            WarmMode::Checkpoint => "checkpoint",
+        };
+        format!(
+            "{{\"warm_pool\":{{\"mode\":\"{mode}\",\"snapshot_hits\":{},\
+             \"snapshot_misses\":{},\"transplants\":{},\"trace_builds\":{},\
+             \"live_snapshots\":{},\"live_snapshot_bytes\":{}}}}}\n",
+            self.snapshot_hits,
+            self.snapshot_misses,
+            self.transplants,
+            self.trace_builds,
+            self.live_snapshots,
+            self.live_snapshot_bytes,
+        )
+    }
+}
+
+/// Shared warm-state cache behind the grid runners: memoizes one
+/// synthesized trace per workload and one [`WarmState`] per
+/// `(warm key, workload)` cell, both `Arc`-shared across the
+/// work-stealing workers.
+///
+/// Snapshots are built lazily inside a per-cell `OnceLock`, so two
+/// workers racing to the same cell build it exactly once and one of them
+/// forks. Traces and unpinned snapshots are evicted as soon as every
+/// config in the running grid has finished a workload; pinned keys
+/// (see [`WarmPool::pin_config`]) survive for follow-up grids — the
+/// observability passes fork the same snapshots the plain sweep built.
+pub struct WarmPool {
+    mode: WarmMode,
+    /// Measured uops per run (the grid's `len`).
+    measured: u64,
+    /// Warmup uops per run (`len / 2`, matching `simulate_workload`).
+    warmup: u64,
+    pinned: Mutex<HashSet<u64>>,
+    traces: Mutex<HashMap<usize, Arc<Vec<MicroOp>>>>,
+    #[allow(clippy::type_complexity)]
+    snapshots: Mutex<HashMap<(u64, usize), Arc<OnceLock<Arc<WarmState>>>>>,
+    snapshot_hits: AtomicU64,
+    snapshot_misses: AtomicU64,
+    transplants: AtomicU64,
+    trace_builds: AtomicU64,
+}
+
+impl std::fmt::Debug for WarmPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("WarmPool")
+            .field("measured", &self.measured)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl WarmPool {
+    /// A pool for grids measuring `len` uops per job, sharing warm state
+    /// according to `mode`.
+    pub fn new(mode: WarmMode, len: u64) -> Self {
+        WarmPool {
+            mode,
+            measured: len,
+            warmup: len / 2,
+            pinned: Mutex::new(HashSet::new()),
+            traces: Mutex::new(HashMap::new()),
+            snapshots: Mutex::new(HashMap::new()),
+            snapshot_hits: AtomicU64::new(0),
+            snapshot_misses: AtomicU64::new(0),
+            transplants: AtomicU64::new(0),
+            trace_builds: AtomicU64::new(0),
+        }
+    }
+
+    /// [`WarmPool::new`] with the mode taken from `RFP_WARM_MODE`.
+    pub fn from_env(len: u64) -> Self {
+        Self::new(WarmMode::from_env(), len)
+    }
+
+    /// The pool's sharing mode.
+    pub fn mode(&self) -> WarmMode {
+        self.mode
+    }
+
+    /// Measured uops per job this pool was sized for.
+    pub fn measured_len(&self) -> u64 {
+        self.measured
+    }
+
+    /// Marks `cfg`'s snapshot keys as pinned: its snapshots are built
+    /// even if the key appears only once in a grid, and survive
+    /// end-of-workload eviction so later grids (the observability
+    /// re-runs) fork them instead of re-warming.
+    pub fn pin_config(&self, cfg: &CoreConfig) {
+        let mut pinned = self.pinned.lock().expect("pinned lock");
+        pinned.insert(warm_key(cfg));
+        if self.mode == WarmMode::Checkpoint {
+            pinned.insert(config_key(&warm_twin(cfg)));
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> WarmPoolStats {
+        let snaps = self.snapshots.lock().expect("snapshot lock");
+        let live_snapshot_bytes = snaps
+            .values()
+            .filter_map(|cell| cell.get())
+            .map(|s| s.approx_bytes())
+            .sum();
+        WarmPoolStats {
+            mode: self.mode,
+            snapshot_hits: self.snapshot_hits.load(Ordering::Relaxed),
+            snapshot_misses: self.snapshot_misses.load(Ordering::Relaxed),
+            transplants: self.transplants.load(Ordering::Relaxed),
+            trace_builds: self.trace_builds.load(Ordering::Relaxed),
+            live_snapshots: snaps.len(),
+            live_snapshot_bytes,
+        }
+    }
+
+    /// The memoized full trace (warmup + measured) for `suite[wi]`,
+    /// synthesized on first touch.
+    fn trace(&self, suite: &[Workload], wi: usize) -> Arc<Vec<MicroOp>> {
+        let mut traces = self.traces.lock().expect("trace lock");
+        if let Some(t) = traces.get(&wi) {
+            return Arc::clone(t);
+        }
+        // Built while holding the lock: synthesis is ~1% of a job's
+        // simulation time, and building once beats racing builds.
+        self.trace_builds.fetch_add(1, Ordering::Relaxed);
+        let t = Arc::new(suite[wi].trace_vec(self.measured + self.warmup));
+        traces.insert(wi, Arc::clone(&t));
+        t
+    }
+
+    /// The shared snapshot for `(key, wi)`, warming `cfg` on first touch.
+    /// Concurrent callers block on the cell's `OnceLock` and share the
+    /// one build.
+    fn snapshot(
+        &self,
+        cfg: &CoreConfig,
+        key: u64,
+        suite: &[Workload],
+        wi: usize,
+    ) -> Arc<WarmState> {
+        let cell = {
+            let mut snaps = self.snapshots.lock().expect("snapshot lock");
+            Arc::clone(snaps.entry((key, wi)).or_default())
+        };
+        let mut built = false;
+        let state = cell.get_or_init(|| {
+            built = true;
+            self.snapshot_misses.fetch_add(1, Ordering::Relaxed);
+            let trace = self.trace(suite, wi);
+            Arc::new(
+                warm_up_workload(cfg, &suite[wi], self.warmup, trace.iter().copied())
+                    .expect("valid config"),
+            )
+        });
+        if !built {
+            self.snapshot_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(state)
+    }
+
+    /// Drops `suite[wi]`'s trace and unpinned snapshots — called when the
+    /// last in-flight grid job for that workload finishes, bounding the
+    /// pool's footprint to roughly one workload band.
+    fn evict_workload(&self, wi: usize) {
+        let pinned = self.pinned.lock().expect("pinned lock");
+        let mut snaps = self.snapshots.lock().expect("snapshot lock");
+        snaps.retain(|(key, w), _| *w != wi || pinned.contains(key));
+        drop(snaps);
+        drop(pinned);
+        self.traces.lock().expect("trace lock").remove(&wi);
+    }
+}
+
+/// Per-config fork plan for one pooled grid run.
+struct JobPlan {
+    /// [`warm_key`] of the config.
+    exact: u64,
+    /// Checkpoint mode only: the twin's key and (projected) config, when
+    /// the config is *not* its own twin.
+    twin: Option<(u64, CoreConfig)>,
+    /// Whether a snapshot is worth building: its sharing key occurs at
+    /// least twice in the grid, or is pinned.
+    worthy: bool,
+}
+
+fn plan_jobs(pool: &WarmPool, configs: &[CoreConfig]) -> Vec<JobPlan> {
+    let pinned = pool.pinned.lock().expect("pinned lock");
+    let plans: Vec<JobPlan> = configs
+        .iter()
+        .map(|cfg| {
+            let exact = warm_key(cfg);
+            let twin = if pool.mode == WarmMode::Checkpoint {
+                let twin_cfg = warm_twin(cfg);
+                let twin_key = config_key(&twin_cfg);
+                (twin_key != exact).then_some((twin_key, twin_cfg))
+            } else {
+                None
+            };
+            JobPlan {
+                exact,
+                twin,
+                worthy: false,
+            }
+        })
+        .collect();
+    // A snapshot pays for itself when its sharing key serves >= 2 jobs
+    // (or a pinned follow-up grid).
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for p in &plans {
+        let share = p.twin.as_ref().map_or(p.exact, |(k, _)| *k);
+        *counts.entry(share).or_insert(0) += 1;
+    }
+    plans
+        .into_iter()
+        .map(|mut p| {
+            let share = p.twin.as_ref().map_or(p.exact, |(k, _)| *k);
+            p.worthy = counts[&share] >= 2 || pinned.contains(&share);
+            p
+        })
+        .collect()
+}
+
+/// Runs one `(config, workload)` job through the pool, returning the
+/// report and which warm path served it.
+fn pooled_job(
+    pool: &WarmPool,
+    cfg: &CoreConfig,
+    plan: &JobPlan,
+    suite: &[Workload],
+    wi: usize,
+    collect_obs: bool,
+) -> (SimReport, &'static str) {
+    let w = &suite[wi];
+    let attach = |stats, sink: Option<MetricsSink>| {
+        let mut r = report_for(w, stats);
+        if let Some(sink) = sink {
+            r.obs = Some(Box::new(sink.into_metrics()));
+        }
+        r
+    };
+    if pool.mode == WarmMode::Off {
+        let report = if collect_obs {
+            let (mut r, sink) = simulate_workload_probed(cfg, w, pool.measured, MetricsSink::new())
+                .expect("valid config");
+            r.obs = Some(Box::new(sink.into_metrics()));
+            r
+        } else {
+            simulate_workload(cfg, w, pool.measured).expect("valid config")
+        };
+        return (report, "off");
+    }
+    if !plan.worthy {
+        let trace = pool.trace(suite, wi);
+        let report = if collect_obs {
+            let (mut r, sink) = simulate_workload_probed_from_trace(
+                cfg,
+                w,
+                pool.warmup,
+                trace.iter().copied(),
+                MetricsSink::new(),
+            )
+            .expect("valid config");
+            r.obs = Some(Box::new(sink.into_metrics()));
+            r
+        } else {
+            simulate_workload_probed_from_trace(
+                cfg,
+                w,
+                pool.warmup,
+                trace.iter().copied(),
+                rfp_obs::NoopProbe,
+            )
+            .expect("valid config")
+            .0
+        };
+        return (report, "straight");
+    }
+    match &plan.twin {
+        None => {
+            let snap = pool.snapshot(cfg, plan.exact, suite, wi);
+            let trace = pool.trace(suite, wi);
+            let rest = trace[snap.consumed_uops() as usize..].iter().copied();
+            let report = if collect_obs {
+                let (stats, sink) = snap.resume_probed(rest, MetricsSink::new());
+                attach(stats, Some(sink))
+            } else {
+                attach(snap.resume(rest), None)
+            };
+            (report, "fork")
+        }
+        Some((twin_key, twin_cfg)) => {
+            let snap = pool.snapshot(twin_cfg, *twin_key, suite, wi);
+            pool.transplants.fetch_add(1, Ordering::Relaxed);
+            let trace = pool.trace(suite, wi);
+            let measured = trace[pool.warmup as usize..].iter().copied();
+            let report = if collect_obs {
+                let (stats, sink) = snap
+                    .transplant_probed(cfg, measured, MetricsSink::new())
+                    .expect("valid config");
+                attach(stats, Some(sink))
+            } else {
+                attach(snap.transplant(cfg, measured).expect("valid config"), None)
+            };
+            (report, "transplant")
+        }
+    }
+}
+
 /// Per-job scheduling and wall-time telemetry from one grid run.
 ///
 /// Everything here describes the *host-side* execution of a job —
@@ -87,6 +557,10 @@ pub struct JobTelemetry {
     pub queue_depth: usize,
     /// Host wall time the simulation took.
     pub wall_nanos: u64,
+    /// Warm path that served the job: `"off"` (legacy, pool disabled),
+    /// `"straight"` (memoized trace, own warmup), `"fork"` (resumed a
+    /// shared snapshot), or `"transplant"` (checkpoint-mode twin).
+    pub warm: &'static str,
 }
 
 /// Everything one work-stealing grid run produces: the suite-ordered
@@ -133,7 +607,10 @@ pub fn run_grid_obs(configs: &[CoreConfig], len: u64, threads: usize) -> Vec<Vec
 
 /// The full-fat grid runner behind [`run_grid`] and [`run_grid_obs`]:
 /// optionally instruments every simulation with a metrics sink
-/// (`collect_obs`) and always returns per-job host telemetry.
+/// (`collect_obs`) and always returns per-job host telemetry. Warm-state
+/// sharing follows `RFP_WARM_MODE` via a grid-local [`WarmPool`]; use
+/// [`run_grid_pooled`] to share the pool (and its snapshots) across
+/// several grids.
 ///
 /// # Panics
 ///
@@ -144,45 +621,70 @@ pub fn run_grid_full(
     threads: usize,
     collect_obs: bool,
 ) -> GridOutcome {
+    run_grid_pooled(&WarmPool::from_env(len), configs, threads, collect_obs)
+}
+
+/// [`run_grid_full`] against a caller-owned [`WarmPool`] (which fixes the
+/// measured length and the sharing mode). Jobs are claimed in
+/// *workload-major* order — all configs of workload 0, then workload 1 —
+/// so the jobs that share a snapshot run close together and the pool can
+/// evict each workload's band as soon as its last job retires. Reports
+/// still land in config-major grid positions, so output is byte-identical
+/// to the unpooled engine at every thread count.
+///
+/// # Panics
+///
+/// Panics if a config is invalid or a worker thread panics.
+pub fn run_grid_pooled(
+    pool: &WarmPool,
+    configs: &[CoreConfig],
+    threads: usize,
+    collect_obs: bool,
+) -> GridOutcome {
     let suite = rfp_trace::suite();
     let n_workloads = suite.len();
-    let n_jobs = configs.len() * n_workloads;
+    let n_configs = configs.len();
+    let n_jobs = n_configs * n_workloads;
     if n_jobs == 0 {
         return GridOutcome {
             reports: configs.iter().map(|_| Vec::new()).collect(),
             telemetry: Vec::new(),
         };
     }
+    let plans = plan_jobs(pool, configs);
     let threads = threads.clamp(1, n_jobs);
     let next = AtomicUsize::new(0);
+    let remaining: Vec<AtomicUsize> = (0..n_workloads)
+        .map(|_| AtomicUsize::new(n_configs))
+        .collect();
 
     let per_worker: Vec<Vec<(SimReport, JobTelemetry)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|worker| {
                 let next = &next;
                 let suite = &suite;
+                let plans = &plans;
+                let remaining = &remaining;
                 s.spawn(move || {
                     let mut done = Vec::new();
                     loop {
-                        let job = next.fetch_add(1, Ordering::Relaxed);
-                        if job >= n_jobs {
+                        let claim = next.fetch_add(1, Ordering::Relaxed);
+                        if claim >= n_jobs {
                             break;
                         }
-                        let (ci, wi) = (job / n_workloads, job % n_workloads);
+                        // Workload-major claim order; config-major grid
+                        // position (what slot reduction and telemetry
+                        // sorting key on).
+                        let (wi, ci) = (claim / n_configs, claim % n_configs);
+                        let job = ci * n_workloads + wi;
                         let t0 = Instant::now();
-                        let report = if collect_obs {
-                            let (mut report, sink) = simulate_workload_probed(
-                                &configs[ci],
-                                &suite[wi],
-                                len,
-                                MetricsSink::new(),
-                            )
-                            .expect("valid config");
-                            report.obs = Some(Box::new(sink.into_metrics()));
-                            report
-                        } else {
-                            simulate_workload(&configs[ci], &suite[wi], len).expect("valid config")
-                        };
+                        let (report, warm) =
+                            pooled_job(pool, &configs[ci], &plans[ci], suite, wi, collect_obs);
+                        if pool.mode() != WarmMode::Off
+                            && remaining[wi].fetch_sub(1, Ordering::AcqRel) == 1
+                        {
+                            pool.evict_workload(wi);
+                        }
                         done.push((
                             report,
                             JobTelemetry {
@@ -190,8 +692,9 @@ pub fn run_grid_full(
                                 config: ci,
                                 workload: suite[wi].name,
                                 worker,
-                                queue_depth: n_jobs - job,
+                                queue_depth: n_jobs - claim,
                                 wall_nanos: t0.elapsed().as_nanos() as u64,
+                                warm,
                             },
                         ));
                     }
@@ -236,17 +739,145 @@ pub fn telemetry_jsonl(telemetry: &[JobTelemetry]) -> String {
         writeln!(
             out,
             "{{\"job\":{},\"config\":{},\"workload\":\"{}\",\"worker\":{},\
-             \"queue_depth\":{},\"wall_nanos\":{}}}",
+             \"queue_depth\":{},\"wall_nanos\":{},\"warm\":\"{}\"}}",
             t.job,
             t.config,
             json_escape(t.workload),
             t.worker,
             t.queue_depth,
-            t.wall_nanos
+            t.wall_nanos,
+            t.warm,
         )
         .expect("write to String");
     }
     out
+}
+
+/// Merges `sections` (top-level key → rendered JSON value) into the JSON
+/// object stored at `path`, preserving any other top-level sections —
+/// so `benches/simulator.rs` and `benches/warm_fork.rs` can each own
+/// their slice of `BENCH_engine.json` without clobbering the other's.
+///
+/// The file is created as `{}`-rooted when missing. This is a
+/// deliberately dumb splitter, not a JSON parser: it walks the top level
+/// of the object tracking string/brace/bracket nesting, which is all the
+/// bench files need.
+///
+/// # Errors
+///
+/// Propagates I/O errors; returns `InvalidData` when the existing file
+/// is not a single top-level JSON object.
+pub fn update_bench_json(
+    path: &std::path::Path,
+    sections: &[(&str, String)],
+) -> std::io::Result<()> {
+    let existing = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::from("{}"),
+        Err(e) => return Err(e),
+    };
+    let mut entries = split_top_level_object(&existing).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{} is not a single top-level JSON object", path.display()),
+        )
+    })?;
+    for (key, value) in sections {
+        match entries.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value.clone(),
+            None => entries.push((key.to_string(), value.clone())),
+        }
+    }
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!("  \"{}\": {}{}\n", json_escape(key), value, sep));
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+/// Splits the top level of a JSON object into `(key, raw value)` pairs.
+/// Returns `None` when `text` isn't a single object.
+fn split_top_level_object(text: &str) -> Option<Vec<(String, String)>> {
+    let body = text.trim();
+    let body = body.strip_prefix('{')?.strip_suffix('}')?;
+    let mut entries = Vec::new();
+    let mut chars = body.char_indices().peekable();
+    loop {
+        // Skip whitespace and the comma separating entries.
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        let Some(&(_, c)) = chars.peek() else {
+            return Some(entries);
+        };
+        if c != '"' {
+            return None;
+        }
+        chars.next();
+        let mut key = String::new();
+        let mut escaped = false;
+        for (_, c) in chars.by_ref() {
+            if escaped {
+                // Keys in our bench files are plain identifiers; keep the
+                // escape verbatim so round-tripping is lossless.
+                key.push('\\');
+                key.push(c);
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                break;
+            } else {
+                key.push(c);
+            }
+        }
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+        if !matches!(chars.next(), Some((_, ':'))) {
+            return None;
+        }
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+        // Consume the value: track nesting until a top-level ',' or end.
+        let start = chars.peek()?.0;
+        let mut end = body.len();
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut str_escaped = false;
+        for (i, c) in chars.by_ref() {
+            if in_str {
+                if str_escaped {
+                    str_escaped = false;
+                } else if c == '\\' {
+                    str_escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                ',' if depth == 0 => {
+                    end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if depth > 0 || in_str {
+            return None;
+        }
+        entries.push((key, body[start..end].trim_end().to_string()));
+        if end == body.len() {
+            return Some(entries);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -340,12 +971,182 @@ mod tests {
             worker: 0,
             queue_depth: 7,
             wall_nanos: 42,
+            warm: "fork",
         }];
         let s = telemetry_jsonl(&rows);
         assert_eq!(
             s,
             "{\"job\":3,\"config\":1,\"workload\":\"w\\\"x\",\"worker\":0,\
-             \"queue_depth\":7,\"wall_nanos\":42}\n"
+             \"queue_depth\":7,\"wall_nanos\":42,\"warm\":\"fork\"}\n"
         );
+    }
+
+    #[test]
+    fn warm_key_normalizes_inert_fields_only() {
+        // Seed is dead state unless EPP is rolling SSBF false positives.
+        let a = CoreConfig::tiger_lake();
+        let mut b = a.clone();
+        b.seed ^= 0xdead_beef;
+        assert_eq!(warm_key(&a), warm_key(&b), "seed is inert without EPP");
+        assert_ne!(config_key(&a), config_key(&b));
+
+        let mut ea = a.clone();
+        ea.vp = VpMode::Epp(Default::default());
+        let mut eb = ea.clone();
+        eb.seed ^= 0xdead_beef;
+        assert_ne!(warm_key(&ea), warm_key(&eb), "seed is live under EPP");
+
+        // A warmup-relevant field must change the key.
+        let mut c = a.clone();
+        c.mem.l1.size_bytes *= 2;
+        assert_ne!(warm_key(&a), warm_key(&c), "L1 geometry shapes warmup");
+    }
+
+    #[test]
+    fn warm_twin_collapses_measurement_features() {
+        let base = CoreConfig::tiger_lake();
+        let rfp = CoreConfig::tiger_lake().with_rfp();
+        let mut dedicated = CoreConfig::tiger_lake().with_rfp();
+        dedicated.ports.dedicated_rfp = 2;
+        // All three warm up identically once RFP/VP/ports are stripped.
+        let t = config_key(&warm_twin(&base));
+        assert_eq!(t, config_key(&warm_twin(&rfp)));
+        assert_eq!(t, config_key(&warm_twin(&dedicated)));
+        // The baseline is its own twin.
+        assert_eq!(t, warm_key(&base));
+        assert_ne!(t, warm_key(&rfp));
+        // Twins always validate (they must be runnable configs).
+        warm_twin(&dedicated).validate().unwrap();
+    }
+
+    #[test]
+    fn pooled_grid_matches_unpooled_at_any_mode() {
+        // Two seed-variants of the same projection: the exact pool forks
+        // one snapshot per workload; results must be byte-identical to
+        // the pool-disabled engine.
+        let mut seeded = CoreConfig::tiger_lake().with_rfp();
+        seeded.seed ^= 0x5eed;
+        let configs = [CoreConfig::tiger_lake().with_rfp(), seeded];
+        let off = run_grid_pooled(&WarmPool::new(WarmMode::Off, 400), &configs, 2, false);
+        let exact = run_grid_pooled(&WarmPool::new(WarmMode::Exact, 400), &configs, 2, false);
+        for (o, e) in off
+            .reports
+            .iter()
+            .flatten()
+            .zip(exact.reports.iter().flatten())
+        {
+            assert_eq!(o.stats, e.stats, "{}: exact fork diverged", o.workload);
+        }
+        assert!(exact.telemetry.iter().all(|t| t.warm == "fork"));
+        assert!(off.telemetry.iter().all(|t| t.warm == "off"));
+    }
+
+    #[test]
+    fn pool_counts_hits_and_evicts_bands() {
+        let configs = [
+            CoreConfig::tiger_lake(),
+            CoreConfig::tiger_lake(), // duplicate: shares every snapshot
+        ];
+        let pool = WarmPool::new(WarmMode::Exact, 300);
+        run_grid_pooled(&pool, &configs, 2, false);
+        let stats = pool.stats();
+        let n = rfp_trace::suite().len();
+        assert_eq!(stats.snapshot_misses, n as u64, "one build per workload");
+        assert_eq!(stats.snapshot_hits, n as u64, "one fork per workload");
+        assert_eq!(stats.live_snapshots, 0, "bands evicted as they finish");
+        assert!(stats.trace_builds >= n as u64);
+    }
+
+    #[test]
+    fn pinned_snapshots_survive_eviction_and_serve_next_grid() {
+        let cfg = CoreConfig::tiger_lake().with_rfp();
+        let pool = WarmPool::new(WarmMode::Exact, 300);
+        pool.pin_config(&cfg);
+        let plain = run_grid_pooled(&pool, std::slice::from_ref(&cfg), 2, false);
+        let after_first = pool.stats();
+        assert_eq!(after_first.live_snapshots, rfp_trace::suite().len());
+        // The follow-up (obs) grid forks the pinned snapshots: all hits.
+        let obs = run_grid_pooled(&pool, &[cfg], 2, true);
+        let stats = pool.stats();
+        assert_eq!(stats.snapshot_misses, after_first.snapshot_misses);
+        assert!(stats.snapshot_hits >= rfp_trace::suite().len() as u64);
+        for (p, o) in plain.reports[0].iter().zip(&obs.reports[0]) {
+            assert_eq!(p.stats, o.stats, "{}: probed fork diverged", p.workload);
+            assert!(o.obs.is_some());
+        }
+    }
+
+    #[test]
+    fn checkpoint_mode_transplants_and_keeps_baseline_exact() {
+        let configs = [
+            CoreConfig::tiger_lake(),
+            CoreConfig::tiger_lake(), // shares the baseline snapshot exactly
+            CoreConfig::tiger_lake().with_rfp(),
+        ];
+        // 1500 uops: long enough for a cold prefetch table (the twin
+        // carries no PT) to train and inject during the measured window.
+        let pool = WarmPool::new(WarmMode::Checkpoint, 1_500);
+        let out = run_grid_pooled(&pool, &configs, 2, false);
+        let reference = run_grid_pooled(
+            &WarmPool::new(WarmMode::Off, 1_500),
+            &configs[..1],
+            2,
+            false,
+        );
+        // Baseline rows fork exactly — byte-identical.
+        for row in 0..2 {
+            for (o, r) in out.reports[row].iter().zip(&reference.reports[0]) {
+                assert_eq!(o.stats, r.stats, "{}: baseline must stay exact", o.workload);
+            }
+        }
+        // The RFP row transplanted: plausible, RFP actually ran.
+        assert!(out.reports[2].iter().any(|r| r.stats.rfp_injected > 0));
+        let n = rfp_trace::suite().len() as u64;
+        assert_eq!(pool.stats().transplants, n);
+        assert!(out
+            .telemetry
+            .iter()
+            .filter(|t| t.config == 2)
+            .all(|t| t.warm == "transplant"));
+    }
+
+    #[test]
+    fn unshared_configs_run_straight_through() {
+        let configs = [
+            CoreConfig::tiger_lake(),
+            CoreConfig::tiger_lake().with_rfp(),
+        ];
+        let pool = WarmPool::new(WarmMode::Exact, 300);
+        let out = run_grid_pooled(&pool, &configs, 2, false);
+        assert!(out.telemetry.iter().all(|t| t.warm == "straight"));
+        assert_eq!(pool.stats().snapshot_misses, 0);
+    }
+
+    #[test]
+    fn update_bench_json_preserves_other_sections() {
+        let dir = std::env::temp_dir().join(format!("rfp_bench_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let _ = std::fs::remove_file(&path);
+        update_bench_json(&path, &[("alpha", "{\n    \"x\": [1, 2]\n  }".into())]).unwrap();
+        update_bench_json(&path, &[("beta", "3.5".into())]).unwrap();
+        update_bench_json(&path, &[("alpha", "\"s,{}\"".into())]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let entries = split_top_level_object(&text).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                ("alpha".to_string(), "\"s,{}\"".to_string()),
+                ("beta".to_string(), "3.5".to_string()),
+            ]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn split_top_level_rejects_non_objects() {
+        assert!(split_top_level_object("[1, 2]").is_none());
+        assert!(split_top_level_object("{\"a\": {").is_none());
+        assert_eq!(split_top_level_object("{}").unwrap(), vec![]);
     }
 }

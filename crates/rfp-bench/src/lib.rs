@@ -29,8 +29,9 @@ use rfp_trace::Category;
 use rfp_types::json_escape;
 
 pub use engine::{
-    config_key, default_threads, run_grid, run_grid_full, run_grid_obs, telemetry_jsonl,
-    GridOutcome, JobTelemetry,
+    config_key, default_threads, env_parsed, run_grid, run_grid_full, run_grid_obs,
+    run_grid_pooled, telemetry_jsonl, trace_len_from_env, update_bench_json, warm_key,
+    warm_projection, warm_twin, GridOutcome, JobTelemetry, WarmMode, WarmPool, WarmPoolStats,
 };
 
 /// Default measured trace length per workload (after an equal warmup).
@@ -70,6 +71,9 @@ pub struct Harness {
     /// carries the histograms), so the two kinds must never alias.
     obs_cache: HashMap<u64, Vec<SimReport>>,
     telemetry: Vec<JobTelemetry>,
+    /// Warm-state pool shared by every grid this harness runs, so the
+    /// observability re-runs fork the snapshots the plain sweep built.
+    pool: WarmPool,
 }
 
 impl std::fmt::Debug for Harness {
@@ -90,15 +94,39 @@ impl Harness {
         Self::with_threads(len, default_threads())
     }
 
-    /// Creates a harness with an explicit worker-thread count.
+    /// Creates a harness with an explicit worker-thread count. The
+    /// warm-state sharing mode comes from `RFP_WARM_MODE` (default
+    /// `exact`, which is byte-identical to no sharing).
     pub fn with_threads(len: u64, threads: usize) -> Self {
+        Self::with_pool(len, threads, WarmPool::from_env(len))
+    }
+
+    /// Creates a harness around an explicit [`WarmPool`] (whose measured
+    /// length must equal `len`) — lets tests pick a [`WarmMode`] without
+    /// touching the process environment.
+    pub fn with_pool(len: u64, threads: usize, pool: WarmPool) -> Self {
+        assert_eq!(pool.measured_len(), len, "pool sized for a different len");
         Harness {
             len,
             threads: threads.max(1),
             cache: HashMap::new(),
             obs_cache: HashMap::new(),
             telemetry: Vec::new(),
+            pool,
         }
+    }
+
+    /// The harness's warm-state pool (for stats reporting and pinning).
+    pub fn warm_pool(&self) -> &WarmPool {
+        &self.pool
+    }
+
+    /// Pins `cfg`'s snapshots in the pool so they are built during the
+    /// main sweep and survive for follow-up grids — call before
+    /// [`Self::prefetch`] when an observability pass over `cfg` will
+    /// follow (`--metrics-out`, `timeliness`).
+    pub fn pin_config(&self, cfg: &CoreConfig) {
+        self.pool.pin_config(cfg);
     }
 
     /// Per-job host telemetry (worker, queue depth, wall time) from every
@@ -170,7 +198,7 @@ impl Harness {
         if pending.is_empty() {
             return;
         }
-        let outcome = run_grid_full(&pending, self.len, self.threads, false);
+        let outcome = run_grid_pooled(&self.pool, &pending, self.threads, false);
         self.telemetry.extend(outcome.telemetry);
         for (cfg, reports) in pending.iter().zip(outcome.reports) {
             self.cache.insert(config_key(cfg), reports);
@@ -296,7 +324,7 @@ impl Harness {
         let key = config_key(cfg);
         if !self.cache.contains_key(&key) {
             let mut outcome =
-                run_grid_full(std::slice::from_ref(cfg), self.len, self.threads, false);
+                run_grid_pooled(&self.pool, std::slice::from_ref(cfg), self.threads, false);
             self.telemetry.extend(outcome.telemetry);
             let reports = outcome.reports.pop().expect("one config in, one row out");
             self.cache.insert(key, reports);
@@ -310,12 +338,22 @@ impl Harness {
         let key = config_key(cfg);
         if !self.obs_cache.contains_key(&key) {
             let mut outcome =
-                run_grid_full(std::slice::from_ref(cfg), self.len, self.threads, true);
+                run_grid_pooled(&self.pool, std::slice::from_ref(cfg), self.threads, true);
             self.telemetry.extend(outcome.telemetry);
             let reports = outcome.reports.pop().expect("one config in, one row out");
             self.obs_cache.insert(key, reports);
         }
         &self.obs_cache[&key]
+    }
+
+    /// The `--metrics-out` payload for `cfg`, produced through the
+    /// harness's obs cache and warm pool — when `cfg` was pinned before
+    /// the main sweep, this forks the sweep's snapshots instead of paying
+    /// warmup again (and it shares the `timeliness` report's runs).
+    pub fn metrics_json(&mut self, cfg: &CoreConfig) -> String {
+        let len = self.len;
+        let reports = self.obs_suite_for("metrics", cfg).to_vec();
+        metrics_reports_json(cfg, len, &reports)
     }
 
     fn baseline(&mut self) -> Vec<SimReport> {

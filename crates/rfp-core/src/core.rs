@@ -90,6 +90,15 @@ enum StoreScan {
     NoConflict,
 }
 
+/// How [`Core::run_loop`] exited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunOutcome {
+    /// The trace is exhausted and the ROB has drained.
+    Finished,
+    /// Paused just short of the warmup boundary (`pause_near_warmup`).
+    Paused,
+}
+
 /// The core simulator. Drive it with [`Core::run`].
 ///
 /// Generic over a [`Probe`] observability sink; the default
@@ -97,6 +106,11 @@ enum StoreScan {
 /// guarded by the `P::ENABLED` associated constant), so an unprobed core
 /// pays nothing for the instrumentation. Build a probed core with
 /// [`Core::with_probe`].
+///
+/// `Clone` snapshots the complete microarchitectural state — caches, TLBs,
+/// MSHRs, predictor tables, in-flight window, RNG stream — which is what
+/// makes [`WarmState`] forking possible.
+#[derive(Clone)]
 pub struct Core<P: Probe = NoopProbe> {
     cfg: CoreConfig,
     probe: P,
@@ -175,6 +189,32 @@ impl Core<NoopProbe> {
     /// Returns a [`ConfigError`] when the configuration is invalid.
     pub fn new(cfg: CoreConfig) -> Result<Self, ConfigError> {
         Core::with_probe(cfg, NoopProbe)
+    }
+
+    /// Runs `trace` up to (just short of) the `warmup` retired-uop boundary
+    /// and captures the complete microarchitectural state as a
+    /// [`WarmState`]. The warm half of [`Core::run_with_warmup`], split out
+    /// so one warmup can be paid once and forked across many measured runs.
+    ///
+    /// `trace` should be the *full* trace of the eventual run; the snapshot
+    /// records how many uops it consumed ([`WarmState::consumed_uops`]) and
+    /// each fork resumes with the remainder. Warmup happens under
+    /// [`NoopProbe`]: the pause lands before the stats reset, so a probe
+    /// attached at resume time still sees every event a straight-through
+    /// probed run would keep (see [`Core::run_loop`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a pipeline deadlock (a simulator bug).
+    pub fn warm_up(mut self, trace: impl IntoIterator<Item = MicroOp>, warmup: u64) -> WarmState {
+        self.warmup_uops = warmup;
+        self.warmup_done = warmup == 0;
+        let mut trace = trace.into_iter().peekable();
+        let finished = matches!(self.run_loop(&mut trace, true), RunOutcome::Finished);
+        WarmState {
+            core: self,
+            finished,
+        }
     }
 }
 
@@ -304,6 +344,29 @@ impl<P: Probe> Core<P> {
         self.warmup_done = warmup == 0;
         let wall_start = Instant::now();
         let mut trace = trace.into_iter().peekable();
+        self.run_loop(&mut trace, false);
+        self.finalize(wall_start)
+    }
+
+    /// The cycle loop shared by straight-through runs ([`Core::run`],
+    /// [`Core::run_with_warmup`]) and the warm-state split
+    /// ([`Core::warm_up`] / [`WarmState::resume`]). Both paths execute the
+    /// exact same per-cycle statement sequence, which is what makes a
+    /// forked run byte-identical to a straight-through one by construction.
+    ///
+    /// With `pause_near_warmup`, returns [`RunOutcome::Paused`] at the end
+    /// of the first iteration from which the warmup boundary is reachable
+    /// within one retire group (`retired + retire_width >= warmup`). The
+    /// stats reset itself — and the [`ProbeEvent::StatsReset`] it emits —
+    /// then happens on the *resumed* core, so a probe attached at resume
+    /// time observes the identical event stream a straight-through probed
+    /// run would (everything it sees before the reset is discarded by the
+    /// reset in both cases).
+    fn run_loop<I: Iterator<Item = MicroOp>>(
+        &mut self,
+        trace: &mut std::iter::Peekable<I>,
+        pause_near_warmup: bool,
+    ) -> RunOutcome {
         loop {
             self.cycle += 1;
             self.ports.begin_cycle(self.cycle);
@@ -311,9 +374,9 @@ impl<P: Probe> Core<P> {
             self.retire();
             self.issue();
             self.rfp_engine();
-            self.dispatch(&mut trace);
+            self.dispatch(trace);
             if self.rob.is_empty() && trace.peek().is_none() {
-                break;
+                return RunOutcome::Finished;
             }
             assert!(
                 self.cycle - self.last_retire_cycle < DEADLOCK_LIMIT,
@@ -321,7 +384,17 @@ impl<P: Probe> Core<P> {
                 self.cycle,
                 self
             );
+            if pause_near_warmup
+                && (self.warmup_done
+                    || self.stats.retired_uops + self.cfg.retire_width as u64 >= self.warmup_uops)
+            {
+                return RunOutcome::Paused;
+            }
         }
+    }
+
+    /// Post-loop epilogue shared by all run paths.
+    fn finalize(mut self, wall_start: Instant) -> (CoreStats, P) {
         self.stats.cycles = self.cycle - self.cycle_offset;
         self.stats.mem_hit_counts = self.mem.hit_counts();
         self.stats.tlb_walks = self.mem.tlb_counters().2;
@@ -330,7 +403,7 @@ impl<P: Probe> Core<P> {
         // equation only holds for warmup-free runs (the ROB has drained by
         // here, so nothing is legitimately still in flight).
         debug_assert!(
-            warmup != 0 || self.stats.funnel_consistent(),
+            self.warmup_uops != 0 || self.stats.funnel_consistent(),
             "RFP funnel leak: injected={} terminal={}",
             self.stats.rfp_injected,
             self.stats.rfp_terminal_total(),
@@ -340,6 +413,144 @@ impl<P: Probe> Core<P> {
         self.stats.total_cycles = self.cycle;
         self.stats.throughput.host_nanos = wall_start.elapsed().as_nanos() as u64;
         (self.stats, self.probe)
+    }
+
+    /// Rebuilds this core with a different probe, preserving every other
+    /// field. The exhaustive destructure is deliberate: adding a field to
+    /// `Core` without deciding how it survives a warm-state fork becomes a
+    /// compile error here instead of a silent bug.
+    fn into_probed<Q: Probe>(self, probe: Q) -> Core<Q> {
+        let Core {
+            cfg,
+            probe: _,
+            cycle,
+            next_seq,
+            rob,
+            rob_base,
+            rename_map,
+            free_pregs,
+            preg_pred,
+            preg_actual,
+            mem,
+            ports,
+            pt,
+            ctx,
+            ipp,
+            gshare,
+            criticality,
+            hit_miss,
+            store_sets,
+            eves,
+            dlvp,
+            path,
+            fetch_stall_branch,
+            dispatch_blocked_until,
+            retire_blocked_until,
+            fetch_queue,
+            rfp_queue,
+            events,
+            l1_retry,
+            store_waiters,
+            scratch_issue,
+            scratch_pregs,
+            scratch_lines,
+            ldq_used,
+            stq_used,
+            rs_used,
+            rng,
+            stats,
+            last_retire_cycle,
+            warmup_uops,
+            warmup_done,
+            cycle_offset,
+        } = self;
+        Core {
+            cfg,
+            probe,
+            cycle,
+            next_seq,
+            rob,
+            rob_base,
+            rename_map,
+            free_pregs,
+            preg_pred,
+            preg_actual,
+            mem,
+            ports,
+            pt,
+            ctx,
+            ipp,
+            gshare,
+            criticality,
+            hit_miss,
+            store_sets,
+            eves,
+            dlvp,
+            path,
+            fetch_stall_branch,
+            dispatch_blocked_until,
+            retire_blocked_until,
+            fetch_queue,
+            rfp_queue,
+            events,
+            l1_retry,
+            store_waiters,
+            scratch_issue,
+            scratch_pregs,
+            scratch_lines,
+            ldq_used,
+            stq_used,
+            rs_used,
+            rng,
+            stats,
+            last_retire_cycle,
+            warmup_uops,
+            warmup_done,
+            cycle_offset,
+        }
+    }
+
+    /// Checkpoint-style functional-warmup transplant: adopts the donor's
+    /// *position-independent* warm structures — the memory hierarchy
+    /// (caches, TLBs, stream prefetcher, with in-flight MSHR fills
+    /// cleared), the hit/miss predictor, store sets, the L1 IP prefetcher
+    /// and gshare when both cores have them, and the branch path history.
+    /// Config-specific tables the donor does not model faithfully for this
+    /// core (PT, context, EVES/DLVP, criticality) start cold, and the RNG
+    /// stream is this core's own. Approximate by design — byte-identity is
+    /// the exact-fork path's job ([`WarmState::resume`]).
+    fn adopt_warm_structures<Q: Probe>(&mut self, donor: &Core<Q>) {
+        debug_assert_eq!(
+            self.cfg.mem, donor.cfg.mem,
+            "transplant requires an identical memory hierarchy"
+        );
+        self.mem = donor.mem.clone();
+        self.mem.clear_in_flight();
+        self.hit_miss = donor.hit_miss.clone();
+        self.store_sets = donor.store_sets.clone();
+        self.path = donor.path;
+        if let (Some(dst), Some(src)) = (self.ipp.as_mut(), donor.ipp.as_ref()) {
+            *dst = src.clone();
+        }
+        if let (Some(dst), Some(src)) = (self.gshare.as_mut(), donor.gshare.as_ref()) {
+            *dst = src.clone();
+        }
+    }
+
+    /// Approximate host-memory footprint of this core's state in bytes —
+    /// what a [`WarmState`] snapshot costs to retain. Dominated by the
+    /// cache tag stores; a lower bound (small predictor tables and hash-map
+    /// overheads are not itemized).
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.mem.approx_bytes()
+            + self.pt.as_ref().map_or(0, |pt| pt.approx_bytes())
+            + self.rob.capacity() * size_of::<DynInst>()
+            + self.free_pregs.capacity() * size_of::<PhysReg>()
+            + (self.preg_pred.capacity() + self.preg_actual.capacity()) * size_of::<Cycle>()
+            + self.fetch_queue.capacity() * size_of::<Cycle>()
+            + self.rfp_queue.capacity() * size_of::<RfpPacket>()
     }
 
     // ----- helpers ---------------------------------------------------------
@@ -1675,6 +1886,120 @@ impl<P: Probe> Core<P> {
     }
 }
 
+/// Everything one warmup produces, captured once and forked many times:
+/// the complete state of a [`Core`] paused just short of its warmup
+/// boundary — cache/TLB/MSHR contents, predictor tables, branch and
+/// store-set history, the RNG stream, and the trace cursor
+/// ([`WarmState::consumed_uops`]).
+///
+/// Produced by [`Core::warm_up`]; consumed (any number of times, from any
+/// thread via `Arc`) by [`WarmState::resume`] for exact byte-identical
+/// forks, or [`WarmState::transplant`] for approximate cross-config
+/// functional warmup.
+#[derive(Clone)]
+pub struct WarmState {
+    core: Core<NoopProbe>,
+    finished: bool,
+}
+
+impl std::fmt::Debug for WarmState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmState")
+            .field("consumed_uops", &self.consumed_uops())
+            .field("finished", &self.finished)
+            .field("approx_bytes", &self.approx_bytes())
+            .finish()
+    }
+}
+
+impl WarmState {
+    /// Number of trace uops the warmup consumed — the cursor at which
+    /// [`WarmState::resume`] expects the remainder of the trace to start.
+    pub fn consumed_uops(&self) -> u64 {
+        self.core.next_seq
+    }
+
+    /// True when the warmup trace ran to completion before reaching the
+    /// warmup boundary (trace shorter than the warmup window). Resuming is
+    /// still valid: it just finalizes immediately.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Approximate host-memory footprint of the snapshot in bytes (see
+    /// [`Core::approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        self.core.approx_bytes()
+    }
+
+    /// The configuration the snapshot was warmed under.
+    pub fn config(&self) -> &CoreConfig {
+        &self.core.cfg
+    }
+
+    /// Forks the snapshot and runs it to completion over `rest` — the
+    /// original trace minus its first [`WarmState::consumed_uops`] entries.
+    /// Byte-identical to `Core::run_with_warmup` over the whole trace.
+    pub fn resume(&self, rest: impl IntoIterator<Item = MicroOp>) -> CoreStats {
+        self.resume_probed(rest, NoopProbe).0
+    }
+
+    /// [`WarmState::resume`] with a probe attached to the fork. The probe
+    /// observes the same event stream a straight-through probed run would
+    /// retain (see [`Core::run_loop`] on pause placement).
+    pub fn resume_probed<Q: Probe>(
+        &self,
+        rest: impl IntoIterator<Item = MicroOp>,
+        probe: Q,
+    ) -> (CoreStats, Q) {
+        let mut core = self.core.clone().into_probed(probe);
+        let wall_start = Instant::now();
+        if self.finished {
+            return core.finalize(wall_start);
+        }
+        let mut rest = rest.into_iter().peekable();
+        core.run_loop(&mut rest, false);
+        core.finalize(wall_start)
+    }
+
+    /// Checkpoint-style functional warmup across configs: builds a fresh
+    /// core for `cfg` (which must share the donor's memory-hierarchy
+    /// configuration), adopts the donor's position-independent warm
+    /// structures (see `Core::adopt_warm_structures`), and runs `measured`
+    /// — the post-warmup segment of the trace — with no further warmup.
+    /// Approximate by design: config-specific predictor tables start cold
+    /// and in-flight donor state is dropped, the standard trade-off of
+    /// checkpointed functional warmup.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when `cfg` is invalid.
+    pub fn transplant(
+        &self,
+        cfg: &CoreConfig,
+        measured: impl IntoIterator<Item = MicroOp>,
+    ) -> Result<CoreStats, ConfigError> {
+        self.transplant_probed(cfg, measured, NoopProbe)
+            .map(|(stats, _)| stats)
+    }
+
+    /// [`WarmState::transplant`] with a probe attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when `cfg` is invalid.
+    pub fn transplant_probed<Q: Probe>(
+        &self,
+        cfg: &CoreConfig,
+        measured: impl IntoIterator<Item = MicroOp>,
+        probe: Q,
+    ) -> Result<(CoreStats, Q), ConfigError> {
+        let mut core = Core::with_probe(cfg.clone(), probe)?;
+        core.adopt_warm_structures(&self.core);
+        Ok(core.run_with_warmup_probed(measured, 0))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1745,5 +2070,90 @@ mod tests {
             .run_with_warmup(ops, 100);
         assert_eq!(stats.retired_uops, 100, "only post-warmup uops counted");
         assert!(stats.cycles > 0 && stats.cycles < 200);
+    }
+
+    /// A realistic mixed trace for the fork tests (loads/stores/branches so
+    /// the window actually carries in-flight state at the pause point).
+    fn fork_trace(len: u64) -> Vec<MicroOp> {
+        rfp_trace::by_name("spec17_mcf")
+            .expect("in the suite")
+            .trace(len)
+            .collect()
+    }
+
+    #[test]
+    fn fork_is_byte_identical_to_straight_through() {
+        for cfg in [
+            CoreConfig::tiger_lake(),
+            CoreConfig::tiger_lake().with_rfp(),
+        ] {
+            let trace = fork_trace(6_000);
+            let warmup = 2_000;
+            let straight = Core::new(cfg.clone())
+                .unwrap()
+                .run_with_warmup(trace.clone(), warmup);
+            let warm = Core::new(cfg.clone())
+                .unwrap()
+                .warm_up(trace.clone(), warmup);
+            assert!(!warm.finished());
+            assert!(warm.consumed_uops() > 0 && warm.consumed_uops() < trace.len() as u64);
+            let rest = trace[warm.consumed_uops() as usize..].to_vec();
+            // Two forks from one snapshot: both identical to the straight run.
+            for _ in 0..2 {
+                let forked = warm.resume(rest.clone());
+                assert_eq!(forked, straight);
+            }
+        }
+    }
+
+    #[test]
+    fn fork_handles_trace_shorter_than_warmup() {
+        let trace = fork_trace(300);
+        let straight = Core::new(CoreConfig::tiger_lake())
+            .unwrap()
+            .run_with_warmup(trace.clone(), 10_000);
+        let warm = Core::new(CoreConfig::tiger_lake())
+            .unwrap()
+            .warm_up(trace.clone(), 10_000);
+        assert!(warm.finished());
+        let forked = warm.resume(Vec::new());
+        assert_eq!(forked, straight);
+    }
+
+    #[test]
+    fn zero_warmup_fork_matches_plain_run() {
+        let trace = fork_trace(2_000);
+        let straight = Core::new(CoreConfig::tiger_lake())
+            .unwrap()
+            .run(trace.clone());
+        let warm = Core::new(CoreConfig::tiger_lake())
+            .unwrap()
+            .warm_up(trace.clone(), 0);
+        let rest = trace[warm.consumed_uops() as usize..].to_vec();
+        let forked = warm.resume(rest);
+        assert_eq!(forked, straight);
+    }
+
+    #[test]
+    fn transplant_runs_measured_segment_with_adopted_caches() {
+        let trace = fork_trace(6_000);
+        let warmup = 2_000usize;
+        let base = CoreConfig::tiger_lake();
+        let warm = Core::new(base.clone())
+            .unwrap()
+            .warm_up(trace.clone(), warmup as u64);
+        let rfp = CoreConfig::tiger_lake().with_rfp();
+        let stats = warm.transplant(&rfp, trace[warmup..].to_vec()).unwrap();
+        assert_eq!(stats.retired_uops, (trace.len() - warmup) as u64);
+        assert!(stats.rfp_injected > 0, "RFP engine ran on the transplant");
+        // Adopted caches mean the measured segment starts warm: it runs in
+        // fewer cycles than a fully cold core over the same segment.
+        let cold = Core::new(rfp).unwrap().run(trace[warmup..].to_vec());
+        assert!(
+            stats.cycles < cold.cycles,
+            "warm transplant ({}) not faster than cold ({})",
+            stats.cycles,
+            cold.cycles
+        );
     }
 }

@@ -30,7 +30,7 @@ mod core;
 mod event_queue;
 mod inst;
 
-pub use crate::core::Core;
+pub use crate::core::{Core, WarmState};
 pub use config::{BranchMode, CoreConfig, RfpConfig, VpMode};
 pub use event_queue::CalendarQueue;
 pub use inst::{DlvpInfo, DynInst, Phase, RfpState, VpSource};
@@ -39,6 +39,22 @@ pub use rfp_mem::OracleMode;
 use rfp_stats::{CoreStats, SimReport};
 use rfp_trace::{MicroOp, Workload};
 use rfp_types::ConfigError;
+
+/// Installs `workload`'s pre-warm memory regions (its declared working
+/// sets, minus DRAM-class ones) into the core's caches — the shared
+/// prologue of every workload-simulation entry point.
+fn install_prewarm<P: rfp_obs::Probe>(core: &mut Core<P>, workload: &Workload) {
+    core.prewarm_from(workload.program().patterns.iter().filter_map(|p| {
+        use rfp_trace::WorkingSetClass as W;
+        let level = match p.ws {
+            W::L1 => rfp_mem::HitLevel::L1,
+            W::L2 => rfp_mem::HitLevel::L2,
+            W::Llc => rfp_mem::HitLevel::Llc,
+            W::Dram => return None,
+        };
+        Some((p.base, p.region_bytes, level))
+    }));
+}
 
 /// Runs `trace` through a core built from `config` and returns the raw
 /// counters.
@@ -88,20 +104,62 @@ pub fn simulate_workload_probed<P: rfp_obs::Probe>(
     probe: P,
 ) -> Result<(SimReport, P), ConfigError> {
     let warmup = len / 2;
+    simulate_workload_probed_from_trace(
+        config,
+        workload,
+        warmup,
+        workload.trace(len + warmup),
+        probe,
+    )
+}
+
+/// [`simulate_workload_probed`], but driven by a caller-supplied `trace`
+/// (the first `warmup` uops are the warmup window) — lets the bench engine
+/// memoize one synthesized trace per workload instead of regenerating it
+/// for every grid job. The trace must be exactly what
+/// `workload.trace(total)` would yield.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when `config` is invalid.
+pub fn simulate_workload_probed_from_trace<P: rfp_obs::Probe>(
+    config: &CoreConfig,
+    workload: &Workload,
+    warmup: u64,
+    trace: impl IntoIterator<Item = MicroOp>,
+    probe: P,
+) -> Result<(SimReport, P), ConfigError> {
     let mut core = Core::with_probe(config.clone(), probe)?;
-    core.prewarm_from(workload.program().patterns.iter().filter_map(|p| {
-        use rfp_trace::WorkingSetClass as W;
-        let level = match p.ws {
-            W::L1 => rfp_mem::HitLevel::L1,
-            W::L2 => rfp_mem::HitLevel::L2,
-            W::Llc => rfp_mem::HitLevel::Llc,
-            W::Dram => return None,
-        };
-        Some((p.base, p.region_bytes, level))
-    }));
-    let (stats, probe) = core.run_with_warmup_probed(workload.trace(len + warmup), warmup);
+    install_prewarm(&mut core, workload);
+    let (stats, probe) = core.run_with_warmup_probed(trace, warmup);
     Ok((
         SimReport::new(workload.name, workload.category.label(), stats),
         probe,
     ))
+}
+
+/// Pays `workload`'s warmup once: builds a core for `config`, installs the
+/// workload's pre-warm regions, and runs `trace` (the full trace of the
+/// eventual run) up to the `warmup` boundary, returning the captured
+/// [`WarmState`]. Forks of the snapshot ([`WarmState::resume`] with the
+/// trace remainder) are byte-identical to [`simulate_workload`].
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when `config` is invalid.
+pub fn warm_up_workload(
+    config: &CoreConfig,
+    workload: &Workload,
+    warmup: u64,
+    trace: impl IntoIterator<Item = MicroOp>,
+) -> Result<WarmState, ConfigError> {
+    let mut core = Core::new(config.clone())?;
+    install_prewarm(&mut core, workload);
+    Ok(core.warm_up(trace, warmup))
+}
+
+/// Wraps a [`WarmState`] fork's stats into the same [`SimReport`] that
+/// [`simulate_workload_probed`] produces.
+pub fn report_for(workload: &Workload, stats: CoreStats) -> SimReport {
+    SimReport::new(workload.name, workload.category.label(), stats)
 }

@@ -175,6 +175,15 @@ impl Cache {
         self.misses
     }
 
+    /// Approximate host-memory footprint of the tag store in bytes — what a
+    /// warm-state snapshot of this cache costs to retain. Dominated by the
+    /// per-way metadata; a lower bound (allocator overhead is not counted).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.sets.capacity() * std::mem::size_of::<Vec<Way>>()
+            + self.sets.len() * self.config.ways * std::mem::size_of::<Way>()
+    }
+
     fn locate(&self, addr: Addr) -> (usize, u64) {
         let line = addr.line_number();
         let sets = self.config.sets() as u64;

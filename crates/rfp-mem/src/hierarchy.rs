@@ -436,6 +436,26 @@ impl MemoryHierarchy {
         self.tlb.counters()
     }
 
+    /// Discards in-flight MSHR fills at every level. Used by checkpoint-
+    /// style warm-state transplants (`rfp-core`): caches, TLBs and the
+    /// stream prefetcher carry position-independent state, but MSHR entries
+    /// hold absolute completion cycles that are meaningless under a
+    /// restarted clock.
+    pub fn clear_in_flight(&mut self) {
+        self.l1_mshr.clear_in_flight();
+        self.l2_mshr.clear_in_flight();
+    }
+
+    /// Approximate host-memory footprint in bytes — what a warm-state
+    /// snapshot of this hierarchy costs to retain. Dominated by the LLC tag
+    /// store; a lower bound (hash-map overhead is not counted).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.l1.approx_bytes()
+            + self.l2.approx_bytes()
+            + self.llc.approx_bytes()
+    }
+
     fn issue_l2_prefetch(&mut self, line: Addr, now: Cycle) {
         if self.l2.probe(line) || self.l1.probe(line) {
             return;

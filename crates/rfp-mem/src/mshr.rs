@@ -124,6 +124,15 @@ impl MshrFile {
         self.delays
     }
 
+    /// Discards every in-flight fill. Entry completion times are absolute
+    /// cycles, so a warmed file transplanted into a core whose clock
+    /// restarts at zero would otherwise report its entries "in flight" for
+    /// the donor's entire elapsed time — checkpoint-style warmup
+    /// (`rfp-core`'s transplant path) clears them instead.
+    pub fn clear_in_flight(&mut self) {
+        self.inflight.clear();
+    }
+
     fn expire(&mut self, now: Cycle) {
         self.inflight.retain(|_, done| *done > now);
     }

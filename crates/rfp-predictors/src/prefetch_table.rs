@@ -406,6 +406,16 @@ impl PrefetchTable {
         self.trainings
     }
 
+    /// Approximate host-memory footprint in bytes — what a warm-state
+    /// snapshot of this table costs to retain (not the modelled hardware
+    /// bits; see [`PrefetchTable::storage`] for those). A lower bound:
+    /// allocator overhead is not counted.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.sets.capacity() * std::mem::size_of::<Vec<PtEntry>>()
+            + self.sets.len() * self.config.ways * std::mem::size_of::<PtEntry>()
+    }
+
     /// Storage accounting for Table 1.
     pub fn storage(&self) -> PtStorage {
         PtStorage {

@@ -19,7 +19,7 @@
 
 use crate::params::{AddrMix, GenParams, ValueMix, WorkingSetMix};
 use crate::program::Program;
-use crate::TraceGen;
+use crate::{MicroOp, TraceGen};
 
 /// Benchmark suite category, as used for the per-category bars in the
 /// paper's figures.
@@ -102,6 +102,14 @@ impl Workload {
     /// Returns a micro-op stream of length `len` for this workload.
     pub fn trace(&self, len: u64) -> TraceGen {
         TraceGen::new(self.program(), self.seed, len)
+    }
+
+    /// Synthesizes the first `len` micro-ops into a vector — the memoized
+    /// form the bench engine shares across grid jobs (generation is fully
+    /// deterministic, so a slice of this vector is interchangeable with a
+    /// fresh [`Workload::trace`] stream at any cursor).
+    pub fn trace_vec(&self, len: u64) -> Vec<MicroOp> {
+        self.trace(len).collect()
     }
 }
 

@@ -275,7 +275,10 @@ fn bench_engine_json(_c: &mut Criterion) {
             ("probe", probe),
         ],
     )
-    .expect("write BENCH_engine.json");
+    .unwrap_or_else(|e| {
+        eprintln!("error: write {}: {e}", path.display());
+        std::process::exit(2);
+    });
     println!(
         "merged event_queue/engine/probe sections into {}",
         path.display()

@@ -149,7 +149,10 @@ fn bench_warm_fork_json(_c: &mut Criterion) {
         path,
         &[("warm_state", warm_state), ("warm_fork", warm_fork)],
     )
-    .expect("write BENCH_engine.json");
+    .unwrap_or_else(|e| {
+        eprintln!("error: write {}: {e}", path.display());
+        std::process::exit(2);
+    });
     println!(
         "merged warm_state/warm_fork sections into {} (off {off_secs:.1}s, exact {exact_secs:.1}s, checkpoint {ckpt_secs:.1}s, speedup {:.2}x)",
         path.display(),

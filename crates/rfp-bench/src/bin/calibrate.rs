@@ -84,9 +84,16 @@ fn main() {
         t0.elapsed().as_secs_f32()
     );
 
+    // I/O failures on side outputs are usage errors (bad path, full
+    // disk), not bugs — report the file and exit 2 instead of panicking.
+    let write_or_die = |path: &str, contents: &str| {
+        std::fs::write(path, contents).unwrap_or_else(|e| {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(2);
+        });
+    };
     if let Some(file) = &metrics_out {
-        std::fs::write(file, metrics_reports_json(&rfp_cfg, len, &rfp))
-            .unwrap_or_else(|e| panic!("write {file}: {e}"));
+        write_or_die(file, &metrics_reports_json(&rfp_cfg, len, &rfp));
         eprintln!("wrote metrics histograms to {file}");
     }
     if let Some(dir) = &trace_out {
@@ -94,15 +101,16 @@ fn main() {
             eprintln!("unknown --trace-workload '{trace_workload}'");
             std::process::exit(2);
         });
-        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("mkdir {dir}: {e}"));
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("error: mkdir {dir}: {e}");
+            std::process::exit(2);
+        });
         let path = format!("{dir}/{}.trace.json", w.name);
-        std::fs::write(&path, trace_workload_json(&rfp_cfg, &w, len))
-            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        write_or_die(&path, &trace_workload_json(&rfp_cfg, &w, len));
         eprintln!("wrote pipeline trace to {path} (load in Perfetto or chrome://tracing)");
     }
     if let Some(file) = &telemetry_out {
-        std::fs::write(file, telemetry_jsonl(&outcome.telemetry))
-            .unwrap_or_else(|e| panic!("write {file}: {e}"));
+        write_or_die(file, &telemetry_jsonl(&outcome.telemetry));
         eprintln!("wrote {} telemetry rows to {file}", outcome.telemetry.len());
     }
 

@@ -6,7 +6,7 @@
 //!
 //! Ids: fig1 fig2 tab1 tab2 fig10 fig11 fig12 fig13 fig14 s522 fig15 fig16
 //! fig17 fig18 s552 s553 s554 s555 ext1 ext2, or `all`, plus the
-//! observability extra `timeliness` (not part of `all`). Set
+//! observability extras `timeliness` and `cpi` (not part of `all`). Set
 //! `RFP_TRACE_LEN` to change the measured micro-ops per workload (default
 //! 120000). `--threads N` (or `RFP_THREADS`) sizes the work-stealing pool;
 //! the default is the machine's available parallelism. `RFP_WARM_MODE`
@@ -25,12 +25,34 @@
 //!   for the RFP config over the whole suite.
 //! - `--telemetry-out <file>`: write per-job engine telemetry (JSONL):
 //!   worker, queue depth at grab time, wall nanos.
+//!
+//! Regression sentinel: `experiments diff <baseline.json> <candidate.json>`
+//! compares two `--metrics-out` documents leaf by leaf under the
+//! tolerances embedded in the baseline, printing a violations table.
+//! Exit code 0 = within tolerance, 1 = regression, 2 = bad input.
 
 use rfp_bench::{
-    default_threads, telemetry_jsonl, trace_len_from_env, trace_workload_json, Harness,
-    DEFAULT_TRACE_LEN,
+    default_threads, diff_metrics, telemetry_jsonl, trace_len_from_env, trace_workload_json,
+    Harness, DEFAULT_TRACE_LEN,
 };
-use rfp_core::CoreConfig;
+use rfp_core::{CoreConfig, OracleMode};
+
+/// Reads a file or exits with code 2 and a contextual message — I/O
+/// problems are usage errors here, not bugs worth a backtrace.
+fn read_or_die(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Writes a file or exits with code 2 and a contextual message.
+fn write_or_die(path: &str, contents: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| {
+        eprintln!("error: write {path}: {e}");
+        std::process::exit(2);
+    });
+}
 
 /// Removes `--flag value` from `args`, returning the value.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -46,6 +68,26 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // The sentinel subcommand is pure file comparison — dispatch before
+    // any simulation setup.
+    if args.first().map(String::as_str) == Some("diff") {
+        if args.len() != 3 {
+            eprintln!("usage: experiments diff <baseline.json> <candidate.json>");
+            std::process::exit(2);
+        }
+        let baseline = read_or_die(&args[1]);
+        let candidate = read_or_die(&args[2]);
+        match diff_metrics(&baseline, &candidate) {
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+            Ok(out) => {
+                println!("{}", out.render());
+                std::process::exit(if out.clean() { 0 } else { 1 });
+            }
+        }
+    }
     let mut threads = default_threads();
     if let Some(v) = take_flag(&mut args, "--threads") {
         match v.parse::<usize>() {
@@ -65,7 +107,9 @@ fn main() {
     if (args.is_empty() && !side_outputs) || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: experiments [--threads N] [--trace-out DIR] [--trace-workload W] \
-             [--metrics-out FILE] [--telemetry-out FILE] <id>... | all\n  ids: {} timeliness\n  \
+             [--metrics-out FILE] [--telemetry-out FILE] <id>... | all\n  ids: {}\n  \
+             extras (not in `all`): timeliness cpi\n  \
+             regression sentinel: experiments diff <baseline.json> <candidate.json>\n  \
              env: RFP_TRACE_LEN=<uops> (default {DEFAULT_TRACE_LEN}), RFP_THREADS=<n>",
             Harness::ALL_IDS.join(" ")
         );
@@ -81,7 +125,7 @@ fn main() {
     } else {
         let mut ids = Vec::new();
         for a in &args {
-            if Harness::ALL_IDS.contains(&a.as_str()) || a == "timeliness" {
+            if Harness::ALL_IDS.contains(&a.as_str()) || a == "timeliness" || a == "cpi" {
                 ids.push(a.as_str());
             } else {
                 eprintln!("unknown experiment id: {a} (try --help)");
@@ -103,6 +147,11 @@ fn main() {
         dedicated.ports.dedicated_rfp = dedicated.ports.load_ports;
         h.pin_config(&dedicated);
     }
+    if ids.contains(&"cpi") {
+        h.pin_config(&CoreConfig::tiger_lake());
+        h.pin_config(&rfp_cfg);
+        h.pin_config(&CoreConfig::tiger_lake().with_oracle(OracleMode::L1ToRf));
+    }
     // Fill the cache with every config the requested experiments need in
     // one work-stealing grid, so the whole machine stays busy instead of
     // parallelising one experiment at a time.
@@ -116,8 +165,7 @@ fn main() {
     }
 
     if let Some(file) = &metrics_out {
-        std::fs::write(file, h.metrics_json(&rfp_cfg))
-            .unwrap_or_else(|e| panic!("write {file}: {e}"));
+        write_or_die(file, &h.metrics_json(&rfp_cfg));
         eprintln!("wrote metrics histograms to {file}");
     }
     if let Some(dir) = &trace_out {
@@ -125,10 +173,12 @@ fn main() {
             eprintln!("unknown --trace-workload '{trace_workload}'");
             std::process::exit(2);
         });
-        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("mkdir {dir}: {e}"));
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("error: mkdir {dir}: {e}");
+            std::process::exit(2);
+        });
         let path = format!("{dir}/{}.trace.json", w.name);
-        std::fs::write(&path, trace_workload_json(&rfp_cfg, &w, len))
-            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        write_or_die(&path, &trace_workload_json(&rfp_cfg, &w, len));
         eprintln!("wrote pipeline trace to {path} (load in Perfetto or chrome://tracing)");
     }
     if let Some(file) = &telemetry_out {
@@ -136,7 +186,7 @@ fn main() {
         // the snapshot cache actually got hit.
         let mut out = telemetry_jsonl(h.job_telemetry());
         out.push_str(&h.warm_pool().stats().jsonl_line());
-        std::fs::write(file, out).unwrap_or_else(|e| panic!("write {file}: {e}"));
+        write_or_die(file, &out);
         eprintln!("wrote {} telemetry rows to {file}", h.job_telemetry().len());
     }
 

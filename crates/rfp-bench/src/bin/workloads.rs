@@ -79,9 +79,15 @@ fn observe(w: &Workload, trace_out: Option<&str>, metrics_out: Option<&str>) {
     let (_report, tee) =
         rfp_core::simulate_workload_probed(&cfg, w, len, tee).expect("valid config");
     if let Some(dir) = trace_out {
-        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("mkdir {dir}: {e}"));
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("error: mkdir {dir}: {e}");
+            std::process::exit(2);
+        });
         let path = format!("{dir}/{}.trace.json", w.name);
-        std::fs::write(&path, tee.a.into_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        std::fs::write(&path, tee.a.into_json()).unwrap_or_else(|e| {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(2);
+        });
         eprintln!("wrote pipeline trace to {path} (load in Perfetto or chrome://tracing)");
     }
     if let Some(file) = metrics_out {
@@ -90,7 +96,10 @@ fn observe(w: &Workload, trace_out: Option<&str>, metrics_out: Option<&str>) {
             rfp_types::json_escape(w.name),
             tee.b.into_metrics().to_json()
         );
-        std::fs::write(file, json).unwrap_or_else(|e| panic!("write {file}: {e}"));
+        std::fs::write(file, json).unwrap_or_else(|e| {
+            eprintln!("error: write {file}: {e}");
+            std::process::exit(2);
+        });
         eprintln!("wrote metrics histograms to {file}");
     }
 }

@@ -23,7 +23,7 @@ use rfp_core::{
     report_for, simulate_workload, simulate_workload_probed, simulate_workload_probed_from_trace,
     warm_up_workload, CoreConfig, VpMode, WarmState,
 };
-use rfp_obs::MetricsSink;
+use rfp_obs::{CpiStackSink, MetricsSink, TeeProbe};
 use rfp_stats::SimReport;
 use rfp_trace::{MicroOp, Workload};
 use rfp_types::json_escape;
@@ -459,18 +459,18 @@ fn pooled_job(
     collect_obs: bool,
 ) -> (SimReport, &'static str) {
     let w = &suite[wi];
-    let attach = |stats, sink: Option<MetricsSink>| {
+    let attach = |stats, sink: Option<ObsSinks>| {
         let mut r = report_for(w, stats);
         if let Some(sink) = sink {
-            r.obs = Some(Box::new(sink.into_metrics()));
+            attach_obs(&mut r, sink);
         }
         r
     };
     if pool.mode == WarmMode::Off {
         let report = if collect_obs {
-            let (mut r, sink) = simulate_workload_probed(cfg, w, pool.measured, MetricsSink::new())
-                .expect("valid config");
-            r.obs = Some(Box::new(sink.into_metrics()));
+            let (mut r, sink) =
+                simulate_workload_probed(cfg, w, pool.measured, obs_sinks()).expect("valid config");
+            attach_obs(&mut r, sink);
             r
         } else {
             simulate_workload(cfg, w, pool.measured).expect("valid config")
@@ -485,10 +485,10 @@ fn pooled_job(
                 w,
                 pool.warmup,
                 trace.iter().copied(),
-                MetricsSink::new(),
+                obs_sinks(),
             )
             .expect("valid config");
-            r.obs = Some(Box::new(sink.into_metrics()));
+            attach_obs(&mut r, sink);
             r
         } else {
             simulate_workload_probed_from_trace(
@@ -509,7 +509,7 @@ fn pooled_job(
             let trace = pool.trace(suite, wi);
             let rest = trace[snap.consumed_uops() as usize..].iter().copied();
             let report = if collect_obs {
-                let (stats, sink) = snap.resume_probed(rest, MetricsSink::new());
+                let (stats, sink) = snap.resume_probed(rest, obs_sinks());
                 attach(stats, Some(sink))
             } else {
                 attach(snap.resume(rest), None)
@@ -523,7 +523,7 @@ fn pooled_job(
             let measured = trace[pool.warmup as usize..].iter().copied();
             let report = if collect_obs {
                 let (stats, sink) = snap
-                    .transplant_probed(cfg, measured, MetricsSink::new())
+                    .transplant_probed(cfg, measured, obs_sinks())
                     .expect("valid config");
                 attach(stats, Some(sink))
             } else {
@@ -532,6 +532,20 @@ fn pooled_job(
             (report, "transplant")
         }
     }
+}
+
+/// The sink pair every instrumented grid job carries: latency metrics
+/// plus the CPI stack, fanned out from one event stream.
+type ObsSinks = TeeProbe<MetricsSink, CpiStackSink>;
+
+fn obs_sinks() -> ObsSinks {
+    TeeProbe::new(MetricsSink::new(), CpiStackSink::new())
+}
+
+/// Moves a drained sink pair into the report's `obs`/`cpi` slots.
+fn attach_obs(r: &mut SimReport, sink: ObsSinks) {
+    r.obs = Some(Box::new(sink.a.into_metrics()));
+    r.cpi = Some(Box::new(sink.b.into_report()));
 }
 
 /// Per-job scheduling and wall-time telemetry from one grid run.

@@ -18,16 +18,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod diff;
 mod engine;
 
 use std::collections::{HashMap, HashSet};
 
 use rfp_core::{CoreConfig, OracleMode, VpMode};
 use rfp_predictors::{storage_table, DlvpConfig, PrefetchTableConfig, ValuePredictorConfig};
-use rfp_stats::{geomean_speedup, mean_frac, pct, Log2Histogram, ObsMetrics, SimReport, TextTable};
+use rfp_stats::{
+    geomean_speedup, mean_frac, pct, CpiBucket, CpiReport, Log2Histogram, ObsMetrics, SimReport,
+    TextTable, CPI_INTERVALS, CPI_INTERVAL_SHIFT,
+};
 use rfp_trace::Category;
 use rfp_types::json_escape;
 
+pub use diff::{diff_metrics, flatten, parse_json, DiffOutcome, Json, Violation};
 pub use engine::{
     config_key, default_threads, env_parsed, run_grid, run_grid_full, run_grid_obs,
     run_grid_pooled, telemetry_jsonl, trace_len_from_env, update_bench_json, warm_key,
@@ -170,9 +175,10 @@ impl Harness {
             "s555" => self.s555(),
             "ext1" => self.ext1(),
             "ext2" => self.ext2(),
-            // Observability extra: not part of `ALL_IDS` (and so of `all`),
-            // because its instrumented runs don't share the plain cache.
+            // Observability extras: not part of `ALL_IDS` (and so of `all`),
+            // because their instrumented runs don't share the plain cache.
             "timeliness" => self.timeliness(),
+            "cpi" => self.cpi(),
             other => panic!("unknown experiment id: {other}"),
         }
     }
@@ -1190,12 +1196,170 @@ impl Harness {
         )
     }
 
+    /// Observability report (`experiments cpi`): cycle-accounting CPI
+    /// stacks, their interval time-series, and the Fig. 1 headroom
+    /// cross-check.
+    ///
+    /// Every retire slot of every measured cycle is charged to exactly
+    /// one bucket at retire time (DESIGN §9.5), so the stacks are a
+    /// *conserved* decomposition of runtime: buckets sum to
+    /// `cycles x retire_width` exactly. Three configs side by side show
+    /// where the baseline spends its slots, what RFP reclaims (plus the
+    /// `rfp-late` bucket it introduces), and what a perfect L1->RF
+    /// oracle would reclaim — the paper's ~9% headroom claim.
+    pub fn cpi(&mut self) -> String {
+        let base_cfg = CoreConfig::tiger_lake();
+        let rfp_cfg = CoreConfig::tiger_lake().with_rfp();
+        let oracle_cfg = CoreConfig::tiger_lake().with_oracle(OracleMode::L1ToRf);
+        let width = base_cfg.retire_width as f64;
+        let base = self.obs_suite_for("baseline-obs", &base_cfg).to_vec();
+        let rfp = self.obs_suite_for("rfp-obs", &rfp_cfg).to_vec();
+        let oracle = self.obs_suite_for("oracle-l1-obs", &oracle_cfg).to_vec();
+        let b = Self::merged_cpi(&base);
+        let r = Self::merged_cpi(&rfp);
+        let o = Self::merged_cpi(&oracle);
+
+        // CPI from the stack itself: slots/width = cycles, retiring
+        // slots = uops. Conservation makes this exact, not approximate.
+        let cpi_of = |s: &rfp_stats::CpiStack| -> f64 {
+            let uops = s.get(CpiBucket::Retiring) + s.get(CpiBucket::RetiringRfpHidden);
+            if uops == 0 {
+                0.0
+            } else {
+                s.total() as f64 / width / uops as f64
+            }
+        };
+        let ratio = |num: f64, den: f64| if den > 0.0 { num / den - 1.0 } else { 0.0 };
+
+        let mut t = TextTable::new(&[
+            "retire-slot bucket",
+            "baseline",
+            "RFP",
+            "delta",
+            "oracle L1->RF",
+        ]);
+        for bucket in CpiBucket::ALL {
+            let (fb, fr, fo) = (
+                b.stack.frac(bucket),
+                r.stack.frac(bucket),
+                o.stack.frac(bucket),
+            );
+            if fb == 0.0 && fr == 0.0 && fo == 0.0 {
+                continue; // never charged under any of the three configs
+            }
+            t.row(&[bucket.label(), &pct(fb), &pct(fr), &pct(fr - fb), &pct(fo)]);
+        }
+        let (bc, rc, oc) = (cpi_of(&b.stack), cpi_of(&r.stack), cpi_of(&o.stack));
+        t.row(&[
+            "CPI",
+            &format!("{bc:.3}"),
+            &format!("{rc:.3}"),
+            &pct(ratio(rc, bc)),
+            &format!("{oc:.3}"),
+        ]);
+
+        let mut rows: Vec<(String, f64, f64, f64, f64)> = base
+            .iter()
+            .filter_map(|bw| {
+                let rw = rfp.iter().find(|n| n.workload == bw.workload)?;
+                let bs = &bw.cpi.as_ref().expect("cpi-instrumented run").stack;
+                let rs = &rw.cpi.as_ref().expect("cpi-instrumented run").stack;
+                let (wb, wr) = (cpi_of(bs), cpi_of(rs));
+                Some((
+                    bw.workload.clone(),
+                    wb,
+                    wr,
+                    ratio(wr, wb),
+                    bs.frac(CpiBucket::MemL1),
+                ))
+            })
+            .collect();
+        rows.sort_by(|a, b| a.3.total_cmp(&b.3));
+        let mut w = TextTable::new(&[
+            "workload",
+            "base CPI",
+            "RFP CPI",
+            "delta",
+            "base mem-l1 slice",
+        ]);
+        for (name, wb, wr, d, l1) in &rows {
+            w.row(&[
+                name,
+                &format!("{wb:.3}"),
+                &format!("{wr:.3}"),
+                &pct(*d),
+                &pct(*l1),
+            ]);
+        }
+
+        let mut iv = TextTable::new(&[
+            "epoch (retired uops)",
+            "CPI",
+            "top stall bucket",
+            "stall share",
+        ]);
+        for (k, s) in r.intervals.iter().enumerate() {
+            if s.total() == 0 {
+                continue; // epochs past the measured window stay empty
+            }
+            let lo = (k as u64) << CPI_INTERVAL_SHIFT;
+            let label = if k + 1 == CPI_INTERVALS {
+                format!("{lo}+")
+            } else {
+                format!("{lo}-{}", lo + (1 << CPI_INTERVAL_SHIFT) - 1)
+            };
+            let top = CpiBucket::ALL
+                .iter()
+                .copied()
+                .filter(|bkt| !matches!(bkt, CpiBucket::Retiring | CpiBucket::RetiringRfpHidden))
+                .max_by_key(|bkt| s.get(*bkt))
+                .expect("non-empty bucket list");
+            iv.row(&[
+                &label,
+                &format!("{:.3}", cpi_of(s)),
+                top.label(),
+                &pct(s.frac(top)),
+            ]);
+        }
+
+        let s_oracle = geomean_speedup(&base, &oracle).unwrap_or(1.0);
+        let s_rfp = geomean_speedup(&base, &rfp).unwrap_or(1.0);
+        format!(
+            "CPI stacks (observability): where every retire slot of every cycle went\n\
+             (one bucket per slot, charged at retire; buckets sum exactly to\n\
+             cycles x retire_width; aggregated over all 65 workloads)\n\n{}\n\
+             Headroom cross-check (Fig. 1): the baseline spends {} of its retire\n\
+             slots stalled on L1-hit latency (mem-l1); the L1->RF oracle reclaims\n\
+             them for a measured {} speedup (paper: ~9%), of which RFP's realistic\n\
+             prefetcher captures {}.\n\n\
+             Per-workload CPI under RFP (sorted by delta):\n\n{}\n\
+             RFP interval time-series, aggregated over workloads ({}-uop epochs):\n\n{}",
+            t.render(),
+            pct(b.stack.frac(CpiBucket::MemL1)),
+            pct(s_oracle - 1.0),
+            pct(s_rfp - 1.0),
+            w.render(),
+            1u64 << CPI_INTERVAL_SHIFT,
+            iv.render()
+        )
+    }
+
     /// Merges the per-workload metrics of an obs-instrumented suite run
     /// into one aggregate (commutative, so order doesn't matter).
     fn merged_obs(reports: &[SimReport]) -> ObsMetrics {
         let mut m = ObsMetrics::default();
         for r in reports {
             m.merge(r.obs.as_ref().expect("obs-instrumented run"));
+        }
+        m
+    }
+
+    /// Merges the per-workload CPI reports of an instrumented suite run
+    /// into one aggregate (plain addition, so order doesn't matter).
+    fn merged_cpi(reports: &[SimReport]) -> CpiReport {
+        let mut m = CpiReport::default();
+        for r in reports {
+            m.merge(r.cpi.as_ref().expect("cpi-instrumented run"));
         }
         m
     }
@@ -1235,24 +1399,30 @@ pub fn trace_workload_json(cfg: &CoreConfig, workload: &rfp_trace::Workload, len
 ///
 /// # Panics
 ///
-/// Panics if a report carries no `obs` payload.
+/// Panics if a report carries no `obs` or `cpi` payload.
 pub fn metrics_reports_json(cfg: &CoreConfig, len: u64, reports: &[SimReport]) -> String {
     let mut agg = ObsMetrics::default();
+    let mut agg_cpi = CpiReport::default();
     let mut rows = Vec::with_capacity(reports.len());
     for r in reports {
         let m = r.obs.as_ref().expect("obs-instrumented run");
+        let c = r.cpi.as_ref().expect("cpi-instrumented run");
         agg.merge(m);
+        agg_cpi.merge(c);
         rows.push(format!(
-            "{{\"workload\":\"{}\",\"category\":\"{}\",\"metrics\":{}}}",
+            "{{\"workload\":\"{}\",\"category\":\"{}\",\"metrics\":{},\"cpi\":{}}}",
             json_escape(&r.workload),
             json_escape(&r.category),
-            m.to_json()
+            m.to_json(),
+            c.to_json()
         ));
     }
     format!(
-        "{{\"config_key\":\"{:016x}\",\"len\":{len},\"aggregate\":{},\"workloads\":[{}]}}\n",
+        "{{\"config_key\":\"{:016x}\",\"len\":{len},\"aggregate\":{},\"aggregate_cpi\":{},\
+         \"workloads\":[{}]}}\n",
         config_key(cfg),
         agg.to_json(),
+        agg_cpi.to_json(),
         rows.join(",")
     )
 }
@@ -1325,11 +1495,29 @@ mod tests {
     }
 
     #[test]
+    fn cpi_is_an_extra_outside_all() {
+        // Same contract as `timeliness`: `all` stays byte-identical, so
+        // the CPI report dispatches by name without joining `ALL_IDS`.
+        assert!(!Harness::ALL_IDS.contains(&"cpi"));
+        let mut h = Harness::with_threads(1_000, 2);
+        let s = h.run("cpi");
+        assert!(s.contains("retire-slot bucket"));
+        assert!(s.contains("mem-l1"));
+        assert!(s.contains("Headroom cross-check"));
+        assert!(s.contains("interval time-series"));
+        // Three instrumented configs (baseline, RFP, oracle), no plain runs.
+        assert_eq!(h.cache.len(), 0);
+        assert_eq!(h.obs_cache.len(), 3);
+    }
+
+    #[test]
     fn metrics_suite_json_parses_shapewise() {
         let cfg = CoreConfig::tiger_lake().with_rfp();
         let json = metrics_suite_json(&cfg, 600, 2);
         assert!(json.starts_with("{\"config_key\":\""));
         assert!(json.contains("\"aggregate\":{\"load_use_latency\":["));
+        assert!(json.contains("\"aggregate_cpi\":{\"interval_uops\":8192"));
+        assert!(json.contains("\"cpi\":{\"interval_uops\":8192"));
         assert!(json.contains("\"workload\":\"spec17_mcf\""));
         assert!(json.ends_with("]}\n"));
     }

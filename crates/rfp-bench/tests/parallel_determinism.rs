@@ -7,7 +7,7 @@ use rfp_bench::{
     WarmMode, WarmPool,
 };
 use rfp_core::{simulate_workload, CoreConfig};
-use rfp_stats::{ObsMetrics, SimReport};
+use rfp_stats::{CpiBucket, CpiReport, ObsMetrics, SimReport};
 
 const LEN: u64 = 3_000;
 
@@ -57,6 +57,9 @@ fn obs_runs_are_byte_identical_at_any_thread_count() {
         .pop()
         .expect("one row");
     assert!(reference.iter().all(|r| r.obs.is_some()));
+    // Canonical bytes include the CPI stack too, so the loop below also
+    // proves probed CPI runs are thread-count invariant byte-for-byte.
+    assert!(reference.iter().all(|r| r.cpi.is_some()));
     assert!(
         reference.iter().any(|r| r
             .obs
@@ -96,6 +99,79 @@ fn merged_histograms_are_order_independent() {
     }
     assert!(forward.load_use_latency.total() > 0);
     assert_eq!(forward.to_json(), reverse.to_json());
+}
+
+#[test]
+fn cpi_stacks_conserve_and_merge_order_independently() {
+    // The one-bucket-per-slot rule over the real tier-1 grid: for every
+    // workload under both headline configs, the stack's slot total is
+    // *exactly* `cycles * retire_width` and the retiring buckets count
+    // exactly the retired uops. Then the engine's correctness property:
+    // per-workload reports merge into the same aggregate in any order.
+    let configs = [
+        CoreConfig::tiger_lake(),
+        CoreConfig::tiger_lake().with_rfp(),
+    ];
+    let rows = run_grid_obs(&configs, LEN, 4);
+    for (cfg, reports) in configs.iter().zip(&rows) {
+        let width = cfg.retire_width as u64;
+        for r in reports {
+            let c = r.cpi.as_ref().expect("cpi attached");
+            assert_eq!(
+                c.stack.total(),
+                r.stats.cycles * width,
+                "{}: slots leaked or double-charged",
+                r.workload
+            );
+            assert!(c.intervals_consistent(), "{}: interval drift", r.workload);
+            // One retiring slot per retired uop — up to the warmup
+            // boundary: uops retiring after the mid-cycle stats reset
+            // count toward `retired_uops`, but the reset cycle itself
+            // belongs to the discarded window, so at most `width - 1`
+            // retires go unslotted.
+            let retiring =
+                c.stack.get(CpiBucket::Retiring) + c.stack.get(CpiBucket::RetiringRfpHidden);
+            assert!(
+                retiring <= r.stats.retired_uops && r.stats.retired_uops - retiring < width,
+                "{}: retiring slots {retiring} vs retired uops {}",
+                r.workload,
+                r.stats.retired_uops
+            );
+        }
+        let mut forward = CpiReport::default();
+        for r in reports {
+            forward.merge(r.cpi.as_ref().expect("cpi attached"));
+        }
+        let mut reverse = CpiReport::default();
+        for r in reports.iter().rev() {
+            reverse.merge(r.cpi.as_ref().expect("cpi attached"));
+        }
+        assert!(forward.stack.total() > 0);
+        assert_eq!(forward, reverse);
+        assert_eq!(forward.to_json(), reverse.to_json());
+    }
+}
+
+#[test]
+fn cpi_reports_are_identical_at_any_thread_count() {
+    // Structural (not just textual) thread invariance of the CPI layer,
+    // at the counts the CI matrix uses.
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let reference = run_grid_obs(std::slice::from_ref(&cfg), LEN, 1)
+        .pop()
+        .expect("one row");
+    for threads in [2, 8] {
+        let got = run_grid_obs(std::slice::from_ref(&cfg), LEN, threads)
+            .pop()
+            .expect("one row");
+        for (a, b) in reference.iter().zip(&got) {
+            assert_eq!(
+                a.cpi, b.cpi,
+                "{}: cpi diverged at {threads} threads",
+                a.workload
+            );
+        }
+    }
 }
 
 #[test]

@@ -35,7 +35,7 @@ use rfp_predictors::{
     ContextPrefetcher, CriticalityTable, Dlvp, Gshare, HitMissPredictor, IpStridePrefetcher,
     PathHistory, PrefetchTable, PtDecision, StoreSets, ValuePredictor,
 };
-use rfp_stats::CoreStats;
+use rfp_stats::{CoreStats, CpiBucket};
 use rfp_trace::{MicroOp, UopKind};
 use rfp_types::{Addr, ConfigError, Cycle, PhysReg, SeqNum};
 
@@ -732,6 +732,11 @@ impl<P: Probe> Core<P> {
 
     fn retire(&mut self) {
         if self.cycle < self.retire_blocked_until {
+            // An EPP re-execution at the head blocks the whole retire
+            // group: recovery from (value) mis-speculation.
+            if P::ENABLED {
+                self.emit_retire_slots(0, 0, CpiBucket::BadSpec);
+            }
             return;
         }
         // Diagnostic: if nothing will retire this cycle, classify why.
@@ -758,6 +763,8 @@ impl<P: Probe> Core<P> {
             _ => {}
         }
         let mut retired = 0;
+        let mut rfp_hidden = 0;
+        let mut reset_this_cycle = false;
         while retired < self.cfg.retire_width {
             let Some(head) = self.rob.front() else { break };
             if !head.done_by(self.cycle) {
@@ -766,6 +773,9 @@ impl<P: Probe> Core<P> {
             let inst = self.rob.pop_front().expect("checked non-empty");
             self.rob_base += 1;
             retired += 1;
+            if inst.uop.kind.is_load() && inst.rfp_fully_hid {
+                rfp_hidden += 1;
+            }
             self.last_retire_cycle = self.cycle;
             self.retire_one(&inst);
             if !self.warmup_done && self.stats.retired_uops >= self.warmup_uops {
@@ -779,7 +789,106 @@ impl<P: Probe> Core<P> {
                 if P::ENABLED {
                     self.probe.emit(self.cycle, ProbeEvent::StatsReset);
                 }
+                reset_this_cycle = true;
             }
+        }
+        // CPI-stack attribution: every slot of this cycle is charged to
+        // exactly one bucket. The reset cycle itself belongs to the
+        // discarded warmup window (`stats.cycles = cycle - cycle_offset`
+        // with `cycle_offset` = the reset cycle), so it emits nothing —
+        // that is what makes the sink's slot total exactly
+        // `cycles * retire_width`.
+        if P::ENABLED && !reset_this_cycle {
+            let stall = if retired < self.cfg.retire_width {
+                self.classify_stall_head()
+            } else {
+                CpiBucket::Retiring // no empty slots; field is inert
+            };
+            self.emit_retire_slots(retired, rfp_hidden, stall);
+        }
+    }
+
+    /// Emits this cycle's [`ProbeEvent::RetireSlots`]: `retired` filled
+    /// slots (`rfp_hidden` of them RFP-fully-hidden loads) and
+    /// `retire_width - retired` empty slots charged to `stall`.
+    fn emit_retire_slots(&mut self, retired: usize, rfp_hidden: usize, stall: CpiBucket) {
+        self.probe.emit(
+            self.cycle,
+            ProbeEvent::RetireSlots {
+                width: self.cfg.retire_width as u8,
+                retired: retired as u8,
+                rfp_hidden: rfp_hidden as u8,
+                stall,
+            },
+        );
+    }
+
+    /// Charges this cycle's empty retire slots to one [`CpiBucket`] by
+    /// inspecting the ROB head — the oldest instruction is by definition
+    /// what retirement is waiting on. Strictly read-only: attribution
+    /// must never perturb the simulation (`obs_instrumentation_does_not_
+    /// perturb_the_simulation` guards this).
+    fn classify_stall_head(&self) -> CpiBucket {
+        let now = self.cycle;
+        let Some(head) = self.rob.front() else {
+            // Empty window: the frontend starved the backend (fetch
+            // redirect after a mispredict, or trace drain).
+            return CpiBucket::Frontend;
+        };
+        if head.issue_cycle.is_some() {
+            if head.uop.kind.is_load() {
+                // An executing load pays its serving memory tier. A
+                // consumed-but-late prefetch is its own class: RFP
+                // helped, the stack still pays the remainder (§5.2.2's
+                // partially-hidden loads).
+                if matches!(head.rfp, RfpState::Consumed) {
+                    return CpiBucket::RfpLate;
+                }
+                if head.forwarded {
+                    return CpiBucket::MemL1;
+                }
+                return match head.hit_level {
+                    Some(level) => CpiBucket::mem_tier(level.index()),
+                    // Issued but no access yet: parked for an L1 port
+                    // (charged to the L1) or deferred on an older
+                    // store's unresolved address (a dependency).
+                    None => {
+                        if self.l1_retry.iter().any(|&(seq, _)| seq == head.seq) {
+                            CpiBucket::MemL1
+                        } else {
+                            CpiBucket::DepChain
+                        }
+                    }
+                };
+            }
+            // A non-load still executing: ALU/FP/branch latency chain.
+            return CpiBucket::DepChain;
+        }
+        if head.not_before > now {
+            // Inside a flush/cancel penalty window: bad speculation.
+            return CpiBucket::BadSpec;
+        }
+        let sources_ready = head
+            .src_phys
+            .iter()
+            .flatten()
+            .all(|p| self.preg_actual[p.index()] <= now);
+        if !sources_ready {
+            return CpiBucket::DepChain;
+        }
+        // Sources ready but never selected: a structural resource is the
+        // bottleneck. Pick the full structure; default to the RS (select
+        // or issue-port bandwidth lives there).
+        if self.rs_used >= self.cfg.rs_entries {
+            CpiBucket::StructRs
+        } else if self.rob.len() >= self.cfg.rob_entries {
+            CpiBucket::StructRob
+        } else if self.ldq_used >= self.cfg.ldq_entries {
+            CpiBucket::StructLq
+        } else if self.stq_used >= self.cfg.stq_entries {
+            CpiBucket::StructSq
+        } else {
+            CpiBucket::StructRs
         }
     }
 

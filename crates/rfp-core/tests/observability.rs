@@ -3,7 +3,8 @@
 //! funnel, and the funnel itself must balance on real runs.
 
 use rfp_core::{simulate, simulate_workload, simulate_workload_probed, Core, CoreConfig};
-use rfp_obs::{ChromeTraceSink, MetricsSink, NoopProbe, Probe, ProbeEvent, TeeProbe};
+use rfp_obs::{ChromeTraceSink, CpiStackSink, MetricsSink, NoopProbe, Probe, ProbeEvent, TeeProbe};
+use rfp_stats::CpiBucket;
 use rfp_trace::{MemRef, MicroOp};
 use rfp_types::{Addr, ArchReg, Cycle, Pc};
 
@@ -174,6 +175,83 @@ fn workload_probe_respects_the_warmup_window() {
         m.rfp_complete_rel_issue.count_le(1),
         probed.stats.rfp_fully_hidden
     );
+}
+
+#[test]
+fn cpi_stack_conserves_every_retire_slot() {
+    // The one-bucket-per-slot charging rule (DESIGN §9.5): across
+    // synthetic traces with very different stall profiles — and several
+    // configs — the stack's slot total is *exactly*
+    // `cycles * retire_width`, and the interval series re-sums to it.
+    let configs = [
+        ("base", CoreConfig::tiger_lake()),
+        ("rfp", CoreConfig::tiger_lake().with_rfp()),
+        ("wide", CoreConfig::baseline_2x()),
+    ];
+    for (cname, cfg) in configs {
+        for (tname, ops) in [
+            ("strided", strided_chain(2_000)),
+            ("messy", messy_trace(1_500)),
+        ] {
+            let width = cfg.retire_width as u64;
+            let (stats, sink) = Core::with_probe(cfg.clone(), CpiStackSink::new())
+                .unwrap()
+                .run_with_warmup_probed(ops, 0);
+            let r = sink.into_report();
+            assert_eq!(
+                r.stack.total(),
+                stats.cycles * width,
+                "{cname}/{tname}: slots leaked or double-charged"
+            );
+            assert!(r.intervals_consistent(), "{cname}/{tname}: interval drift");
+            assert_eq!(
+                r.stack.get(CpiBucket::Retiring) + r.stack.get(CpiBucket::RetiringRfpHidden),
+                stats.retired_uops,
+                "{cname}/{tname}: one retiring slot per retired uop"
+            );
+            // Warmup-free, so the issue-side counter and the retire-side
+            // slots describe the same load population exactly.
+            assert_eq!(
+                r.stack.get(CpiBucket::RetiringRfpHidden),
+                stats.rfp_fully_hidden,
+                "{cname}/{tname}: hidden slots mirror the fully-hidden counter"
+            );
+        }
+    }
+}
+
+#[test]
+fn cpi_stack_conserves_across_the_warmup_reset() {
+    // With a warmup window the sink resets mid-run; the reset cycle
+    // belongs to the discarded window, so conservation must still hold
+    // with equality on the measured window.
+    let w = rfp_trace::by_name("spec06_libquantum").expect("in the suite");
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let width = cfg.retire_width as u64;
+    let (report, sink) = simulate_workload_probed(&cfg, &w, 6_000, CpiStackSink::new()).unwrap();
+    let r = sink.into_report();
+    assert_eq!(r.stack.total(), report.stats.cycles * width);
+    assert!(r.intervals_consistent());
+    // Uops retiring after the mid-cycle reset but within the reset cycle
+    // count toward `retired_uops` while the cycle itself is discarded, so
+    // up to `width - 1` retires go unslotted at the boundary.
+    let retiring = r.stack.get(CpiBucket::Retiring) + r.stack.get(CpiBucket::RetiringRfpHidden);
+    assert!(
+        retiring <= report.stats.retired_uops && report.stats.retired_uops - retiring < width,
+        "retiring slots {retiring} vs retired uops {}",
+        report.stats.retired_uops
+    );
+    // The hidden-slot count can exceed the issue-side counter by the
+    // boundary population: loads that consumed their prefetch *before*
+    // the reset (counter discarded) but retired after it. Same reason
+    // the RFP funnel only balances on warmup-free runs.
+    assert!(
+        r.stack.get(CpiBucket::RetiringRfpHidden) >= report.stats.rfp_fully_hidden,
+        "hidden slots can only gain the warmup-boundary loads"
+    );
+    // A probed CPI run must not perturb the simulation.
+    let plain = simulate_workload(&cfg, &w, 6_000).unwrap();
+    assert_eq!(plain.canonical_text(), report.canonical_text());
 }
 
 #[test]

@@ -300,6 +300,9 @@ impl Probe for ChromeTraceSink {
             ProbeEvent::StatsReset => {
                 self.instant(1, 0, "stats-reset", cycle, String::new());
             }
+            // Per-cycle slot accounting would dwarf the event cap and the
+            // timeline already shows retirement; the CPI sink owns these.
+            ProbeEvent::RetireSlots { .. } => {}
         }
     }
 }

@@ -40,11 +40,14 @@
 #![warn(missing_docs)]
 
 mod chrome;
+mod cpi_sink;
 mod metrics;
 
 pub use chrome::ChromeTraceSink;
+pub use cpi_sink::CpiStackSink;
 pub use metrics::MetricsSink;
 
+use rfp_stats::CpiBucket;
 use rfp_types::{Addr, Cycle, Pc, SeqNum};
 
 /// Broad micro-op class carried by lifecycle events.
@@ -229,6 +232,22 @@ pub enum ProbeEvent {
     PortDenied {
         /// Requesting client index: 0 demand load, 1 RFP, 2 AP probe.
         client: u8,
+    },
+    /// Retire-slot attribution for one cycle: `retired` of the `width`
+    /// slots retired a micro-op (`rfp_hidden` of those were loads whose
+    /// latency RFP fully hid); the remaining `width - retired` empty
+    /// slots are all charged to `stall`. Emitted once per cycle, so the
+    /// per-run slot total is exactly `cycles * retire_width`.
+    RetireSlots {
+        /// Retire width — total slots this cycle.
+        width: u8,
+        /// Slots that retired a micro-op.
+        retired: u8,
+        /// Of the retired slots, loads fully hidden by RFP.
+        rfp_hidden: u8,
+        /// Bucket charged for the empty slots (only meaningful when
+        /// `retired < width`).
+        stall: CpiBucket,
     },
     /// The core reset its statistics (end of the warmup window). Sinks
     /// that mirror `CoreStats` semantics reset here too.

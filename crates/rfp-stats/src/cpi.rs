@@ -1,0 +1,395 @@
+//! Cycle-accounting CPI stacks.
+//!
+//! The core charges every retire slot (one per cycle per retire-width
+//! lane) to exactly one [`CpiBucket`], so the buckets of a finished run
+//! sum *exactly* to `cycles * retire_width` — the conservation invariant
+//! the tier-1 tests assert. [`CpiStack`] is the flat accumulator;
+//! [`CpiReport`] couples the whole-run stack with a fixed-epoch interval
+//! time-series for phase behaviour. Merging is plain addition, so
+//! aggregation across the work-stealing engine's threads is
+//! order-independent, exactly like [`ObsMetrics`](crate::ObsMetrics).
+
+/// Number of CPI-stack buckets.
+pub const CPI_BUCKETS: usize = 15;
+
+/// Number of interval epochs in a [`CpiReport`] time-series (the last
+/// epoch is open-ended).
+pub const CPI_INTERVALS: usize = 16;
+
+/// Retired micro-ops per interval epoch (`1 << CPI_INTERVAL_SHIFT`),
+/// fixed so per-thread sinks bucket identically and merge
+/// deterministically.
+pub const CPI_INTERVAL_SHIFT: u32 = 13;
+
+/// The component a retire slot is charged to.
+///
+/// One bucket per slot, no double counting: a slot either retired a
+/// micro-op (`Retiring*`) or went empty for exactly one attributed
+/// reason. Discriminants are the array indices used by [`CpiStack`], in
+/// render order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CpiBucket {
+    /// Slot retired a micro-op.
+    Retiring = 0,
+    /// Slot retired a load whose latency RFP fully hid — useful work the
+    /// prefetcher made possible (carved out of `Retiring`).
+    RetiringRfpHidden = 1,
+    /// ROB empty: the frontend starved the backend (fetch redirect after
+    /// a mispredict, fetch-queue drain).
+    Frontend = 2,
+    /// Recovery from bad speculation: the ROB head was squashed and
+    /// re-executed (flush wake), or retirement is blocked by an EPP
+    /// re-execution window.
+    BadSpec = 3,
+    /// Head is a load in flight, served by the L1 (or store forwarding).
+    MemL1 = 4,
+    /// Head is a load in flight, merged into an existing MSHR.
+    MemMshr = 5,
+    /// Head is a load in flight, served by the L2.
+    MemL2 = 6,
+    /// Head is a load in flight, served by the LLC.
+    MemLlc = 7,
+    /// Head is a load in flight, served by DRAM.
+    MemDram = 8,
+    /// Head is a load in flight whose RFP prefetch was consumed but too
+    /// late to hide the full latency (the prefetch helped, the stack
+    /// still pays — §5.2.2's "partially hidden" class).
+    RfpLate = 9,
+    /// Head not issued with ready sources while the reservation stations
+    /// are full (or issue-port starved).
+    StructRs = 10,
+    /// Head not issued with ready sources while the ROB is full.
+    StructRob = 11,
+    /// Head not issued with ready sources while the load queue is full.
+    StructLq = 12,
+    /// Head not issued with ready sources while the store queue is full.
+    StructSq = 13,
+    /// Head waiting on an operand dependency chain (sources not yet
+    /// ready, or a non-load still executing).
+    DepChain = 14,
+}
+
+impl CpiBucket {
+    /// Every bucket in index/render order.
+    pub const ALL: [CpiBucket; CPI_BUCKETS] = [
+        CpiBucket::Retiring,
+        CpiBucket::RetiringRfpHidden,
+        CpiBucket::Frontend,
+        CpiBucket::BadSpec,
+        CpiBucket::MemL1,
+        CpiBucket::MemMshr,
+        CpiBucket::MemL2,
+        CpiBucket::MemLlc,
+        CpiBucket::MemDram,
+        CpiBucket::RfpLate,
+        CpiBucket::StructRs,
+        CpiBucket::StructRob,
+        CpiBucket::StructLq,
+        CpiBucket::StructSq,
+        CpiBucket::DepChain,
+    ];
+
+    /// Stable array index of this bucket.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Kebab-case label used in tables and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            CpiBucket::Retiring => "retiring",
+            CpiBucket::RetiringRfpHidden => "retiring-rfp-hidden",
+            CpiBucket::Frontend => "frontend",
+            CpiBucket::BadSpec => "bad-spec",
+            CpiBucket::MemL1 => "mem-l1",
+            CpiBucket::MemMshr => "mem-mshr",
+            CpiBucket::MemL2 => "mem-l2",
+            CpiBucket::MemLlc => "mem-llc",
+            CpiBucket::MemDram => "mem-dram",
+            CpiBucket::RfpLate => "rfp-late",
+            CpiBucket::StructRs => "struct-rs",
+            CpiBucket::StructRob => "struct-rob",
+            CpiBucket::StructLq => "struct-lq",
+            CpiBucket::StructSq => "struct-sq",
+            CpiBucket::DepChain => "dep-chain",
+        }
+    }
+
+    /// The memory bucket for a serving-tier index
+    /// (`[L1, MSHR, L2, LLC, DRAM]` — `HitLevel::index` order).
+    pub fn mem_tier(tier: u8) -> CpiBucket {
+        match tier {
+            0 => CpiBucket::MemL1,
+            1 => CpiBucket::MemMshr,
+            2 => CpiBucket::MemL2,
+            3 => CpiBucket::MemLlc,
+            _ => CpiBucket::MemDram,
+        }
+    }
+}
+
+/// A CPI stack: retire-slot counts per [`CpiBucket`].
+///
+/// # Examples
+///
+/// ```
+/// use rfp_stats::{CpiBucket, CpiStack};
+/// let mut s = CpiStack::default();
+/// s.record(CpiBucket::Retiring, 4);
+/// s.record(CpiBucket::MemDram, 1);
+/// assert_eq!(s.total(), 5);
+/// assert!((s.frac(CpiBucket::MemDram) - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpiStack {
+    /// Slot counts, indexed by [`CpiBucket::index`].
+    pub slots: [u64; CPI_BUCKETS],
+}
+
+impl Default for CpiStack {
+    fn default() -> Self {
+        CpiStack {
+            slots: [0; CPI_BUCKETS],
+        }
+    }
+}
+
+impl CpiStack {
+    /// Charges `n` slots to `bucket`.
+    pub fn record(&mut self, bucket: CpiBucket, n: u64) {
+        self.slots[bucket.index()] += n;
+    }
+
+    /// Slots charged to `bucket`.
+    pub fn get(&self, bucket: CpiBucket) -> u64 {
+        self.slots[bucket.index()]
+    }
+
+    /// Total slots across all buckets. Equals `cycles * retire_width`
+    /// for a complete run (the conservation invariant).
+    pub fn total(&self) -> u64 {
+        self.slots.iter().sum()
+    }
+
+    /// Fraction of all slots charged to `bucket` (0 when empty).
+    pub fn frac(&self, bucket: CpiBucket) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(bucket) as f64 / total as f64
+        }
+    }
+
+    /// Sum of the memory-tier buckets plus RFP-late (every slot stalled
+    /// behind an in-flight load).
+    pub fn mem_total(&self) -> u64 {
+        self.get(CpiBucket::MemL1)
+            + self.get(CpiBucket::MemMshr)
+            + self.get(CpiBucket::MemL2)
+            + self.get(CpiBucket::MemLlc)
+            + self.get(CpiBucket::MemDram)
+            + self.get(CpiBucket::RfpLate)
+    }
+
+    /// Adds `other`'s counts into `self` (commutative and associative,
+    /// hence merge-order-independent).
+    pub fn merge(&mut self, other: &CpiStack) {
+        for (a, b) in self.slots.iter_mut().zip(&other.slots) {
+            *a += b;
+        }
+    }
+
+    /// JSON object keyed by bucket label, in [`CpiBucket::ALL`] order.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = CpiBucket::ALL
+            .iter()
+            .map(|b| format!("\"{}\":{}", b.label(), self.get(*b)))
+            .collect();
+        format!("{{{}}}", cells.join(","))
+    }
+}
+
+/// Whole-run CPI stack plus a fixed-epoch interval time-series.
+///
+/// Epoch `k` covers retired micro-ops
+/// `[k << CPI_INTERVAL_SHIFT, (k+1) << CPI_INTERVAL_SHIFT)` of the
+/// measured window (the last epoch is open above), so the series is a
+/// deterministic function of the simulation alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpiReport {
+    /// Whole-run stack (measured window only).
+    pub stack: CpiStack,
+    /// Per-epoch stacks; sums to `stack` exactly.
+    pub intervals: [CpiStack; CPI_INTERVALS],
+}
+
+impl Default for CpiReport {
+    fn default() -> Self {
+        CpiReport {
+            stack: CpiStack::default(),
+            intervals: [CpiStack::default(); CPI_INTERVALS],
+        }
+    }
+}
+
+impl CpiReport {
+    /// The epoch index for a slot observed after `uops` retired
+    /// micro-ops.
+    pub fn interval_of(uops: u64) -> usize {
+        ((uops >> CPI_INTERVAL_SHIFT) as usize).min(CPI_INTERVALS - 1)
+    }
+
+    /// Charges `n` slots to `bucket`, in both the whole-run stack and
+    /// the epoch holding `uops`.
+    pub fn record(&mut self, bucket: CpiBucket, n: u64, uops: u64) {
+        self.stack.record(bucket, n);
+        self.intervals[Self::interval_of(uops)].record(bucket, n);
+    }
+
+    /// Checks the internal invariant: the interval series sums exactly
+    /// to the whole-run stack, bucket by bucket.
+    pub fn intervals_consistent(&self) -> bool {
+        let mut sum = CpiStack::default();
+        for i in &self.intervals {
+            sum.merge(i);
+        }
+        sum == self.stack
+    }
+
+    /// Adds `other`'s counts into `self` (order-independent).
+    pub fn merge(&mut self, other: &CpiReport) {
+        self.stack.merge(&other.stack);
+        for (a, b) in self.intervals.iter_mut().zip(&other.intervals) {
+            a.merge(b);
+        }
+    }
+
+    /// Hand-written JSON rendering (the workspace builds without serde).
+    pub fn to_json(&self) -> String {
+        let intervals: Vec<String> = self.intervals.iter().map(CpiStack::to_json).collect();
+        format!(
+            "{{\"interval_uops\":{},\"stack\":{},\"intervals\":[{}]}}",
+            1u64 << CPI_INTERVAL_SHIFT,
+            self.stack.to_json(),
+            intervals.join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_discriminants_are_indices() {
+        for (i, b) in CpiBucket::ALL.iter().enumerate() {
+            assert_eq!(b.index(), i, "{b:?} discriminant drifted");
+        }
+        assert_eq!(CpiBucket::ALL.len(), CPI_BUCKETS);
+    }
+
+    #[test]
+    fn bucket_labels_are_unique_kebab_case() {
+        let labels: Vec<&str> = CpiBucket::ALL.iter().map(|b| b.label()).collect();
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), CPI_BUCKETS, "duplicate label");
+        for l in labels {
+            assert!(
+                l.chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '-' || c.is_ascii_digit()),
+                "{l} not kebab-case"
+            );
+        }
+    }
+
+    #[test]
+    fn mem_tier_follows_hit_level_index_order() {
+        assert_eq!(CpiBucket::mem_tier(0), CpiBucket::MemL1);
+        assert_eq!(CpiBucket::mem_tier(1), CpiBucket::MemMshr);
+        assert_eq!(CpiBucket::mem_tier(2), CpiBucket::MemL2);
+        assert_eq!(CpiBucket::mem_tier(3), CpiBucket::MemLlc);
+        assert_eq!(CpiBucket::mem_tier(4), CpiBucket::MemDram);
+        assert_eq!(CpiBucket::mem_tier(250), CpiBucket::MemDram);
+    }
+
+    #[test]
+    fn stack_merge_is_order_independent() {
+        let mut a = CpiStack::default();
+        a.record(CpiBucket::Retiring, 7);
+        a.record(CpiBucket::MemDram, 2);
+        let mut b = CpiStack::default();
+        b.record(CpiBucket::Frontend, 3);
+        b.record(CpiBucket::Retiring, 1);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert_eq!(ab.total(), 13);
+    }
+
+    #[test]
+    fn report_intervals_sum_to_stack() {
+        let mut r = CpiReport::default();
+        r.record(CpiBucket::Retiring, 5, 0);
+        r.record(CpiBucket::MemL1, 3, 1 << CPI_INTERVAL_SHIFT);
+        r.record(CpiBucket::DepChain, 2, u64::MAX);
+        assert!(r.intervals_consistent());
+        assert_eq!(r.stack.total(), 10);
+        assert_eq!(r.intervals[0].total(), 5);
+        assert_eq!(r.intervals[1].total(), 3);
+        assert_eq!(r.intervals[CPI_INTERVALS - 1].total(), 2);
+    }
+
+    #[test]
+    fn interval_of_clamps_to_last_epoch() {
+        assert_eq!(CpiReport::interval_of(0), 0);
+        assert_eq!(CpiReport::interval_of((1 << CPI_INTERVAL_SHIFT) - 1), 0);
+        assert_eq!(CpiReport::interval_of(1 << CPI_INTERVAL_SHIFT), 1);
+        assert_eq!(CpiReport::interval_of(u64::MAX), CPI_INTERVALS - 1);
+    }
+
+    #[test]
+    fn report_merge_is_order_independent() {
+        let mut a = CpiReport::default();
+        a.record(CpiBucket::Retiring, 4, 10);
+        a.record(CpiBucket::BadSpec, 1, 1 << 20);
+        let mut b = CpiReport::default();
+        b.record(CpiBucket::StructRs, 6, 0);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert!(ab.intervals_consistent());
+    }
+
+    #[test]
+    fn json_names_every_bucket() {
+        let s = CpiStack::default();
+        let j = s.to_json();
+        for b in CpiBucket::ALL {
+            assert!(j.contains(&format!("\"{}\":", b.label())), "missing {b:?}");
+        }
+        let r = CpiReport::default();
+        let j = r.to_json();
+        assert!(j.contains("\"interval_uops\":8192"));
+        assert!(j.contains("\"stack\":{"));
+        assert!(j.contains("\"intervals\":["));
+    }
+
+    #[test]
+    fn mem_total_includes_rfp_late() {
+        let mut s = CpiStack::default();
+        s.record(CpiBucket::MemL2, 3);
+        s.record(CpiBucket::RfpLate, 2);
+        s.record(CpiBucket::Retiring, 10);
+        assert_eq!(s.mem_total(), 5);
+    }
+}

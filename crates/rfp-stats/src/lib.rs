@@ -26,6 +26,9 @@
 
 use std::fmt::Write as _;
 
+mod cpi;
+
+pub use cpi::{CpiBucket, CpiReport, CpiStack, CPI_BUCKETS, CPI_INTERVALS, CPI_INTERVAL_SHIFT};
 pub use rfp_types::geomean;
 
 /// Host-side wall-clock measurement attached to a run.
@@ -479,6 +482,9 @@ pub struct SimReport {
     /// Latency-distribution metrics, when the run was instrumented with a
     /// metrics sink (`None` for ordinary uninstrumented runs).
     pub obs: Option<Box<ObsMetrics>>,
+    /// Cycle-accounting CPI stack, when the run was instrumented with a
+    /// CPI sink (`None` for ordinary uninstrumented runs).
+    pub cpi: Option<Box<CpiReport>>,
 }
 
 impl SimReport {
@@ -489,6 +495,7 @@ impl SimReport {
             category: category.into(),
             stats,
             obs: None,
+            cpi: None,
         }
     }
 
@@ -581,6 +588,10 @@ impl SimReport {
         if let Some(obs) = &self.obs {
             out.push_str(" obs=");
             out.push_str(&obs.to_json());
+        }
+        if let Some(cpi) = &self.cpi {
+            out.push_str(" cpi=");
+            out.push_str(&cpi.to_json());
         }
         out
     }
@@ -787,11 +798,13 @@ mod tests {
     use super::*;
 
     fn report(cycles: u64, uops: u64, loads: u64, useful: u64) -> SimReport {
-        let mut s = CoreStats::default();
-        s.cycles = cycles;
-        s.retired_uops = uops;
-        s.retired_loads = loads;
-        s.rfp_useful = useful;
+        let s = CoreStats {
+            cycles,
+            retired_uops: uops,
+            retired_loads: loads,
+            rfp_useful: useful,
+            ..CoreStats::default()
+        };
         SimReport::new("w", "Client", s)
     }
 
@@ -835,9 +848,11 @@ mod tests {
 
     #[test]
     fn funnel_consistency_accounts_every_injection() {
-        let mut s = CoreStats::default();
-        s.rfp_injected = 10;
-        s.rfp_useful = 4;
+        let mut s = CoreStats {
+            rfp_injected: 10,
+            rfp_useful: 4,
+            ..CoreStats::default()
+        };
         s.rfp_wrong_addr = 1;
         s.rfp_dropped_load_first = 2;
         s.rfp_dropped_tlb = 1;
@@ -935,9 +950,24 @@ mod tests {
     }
 
     #[test]
+    fn canonical_text_includes_cpi_when_present() {
+        let mut r = report(100, 450, 100, 43);
+        let without = r.canonical_text();
+        let mut cpi = CpiReport::default();
+        cpi.record(CpiBucket::Retiring, 5, 0);
+        r.cpi = Some(Box::new(cpi));
+        let with = r.canonical_text();
+        assert_ne!(without, with);
+        assert!(with.contains(" cpi={"));
+        assert!(with.contains("\"retiring\":5"));
+    }
+
+    #[test]
     fn hit_distribution_sums_to_one_when_populated() {
-        let mut s = CoreStats::default();
-        s.load_hit_levels = [90, 4, 3, 2, 1];
+        let s = CoreStats {
+            load_hit_levels: [90, 4, 3, 2, 1],
+            ..CoreStats::default()
+        };
         let r = SimReport::new("w", "c", s);
         let sum: f64 = r.hit_distribution().iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
@@ -1033,9 +1063,11 @@ mod tests {
 
     #[test]
     fn throughput_rates_derive_from_wall_time() {
-        let mut s = CoreStats::default();
-        s.total_retired_uops = 3_000_000;
-        s.total_cycles = 1_000_000;
+        let mut s = CoreStats {
+            total_retired_uops: 3_000_000,
+            total_cycles: 1_000_000,
+            ..CoreStats::default()
+        };
         s.throughput.host_nanos = 500_000_000; // 0.5 s
         assert!((s.uops_per_sec() - 6_000_000.0).abs() < 1e-6);
         assert!((s.cycles_per_sec() - 2_000_000.0).abs() < 1e-6);

@@ -326,9 +326,11 @@ mod tests {
     #[test]
     fn aliased_load_sees_store_address_and_value() {
         // Force aliasing to be common.
-        let mut params = GenParams::default();
-        params.store_alias_frac = 1.0;
-        params.store_frac = 0.25;
+        let params = GenParams {
+            store_alias_frac: 1.0,
+            store_frac: 0.25,
+            ..GenParams::default()
+        };
         let prog = Program::synthesize(&params, 21).unwrap();
         let alias = prog.patterns.iter().position(|p| p.alias_of.is_some());
         let Some(alias) = alias else {
@@ -469,8 +471,10 @@ mod tests {
 
     #[test]
     fn branch_mispredict_rate_is_roughly_respected() {
-        let mut params = GenParams::default();
-        params.mispredict_rate = 0.10;
+        let params = GenParams {
+            mispredict_rate: 0.10,
+            ..GenParams::default()
+        };
         let prog = Program::synthesize(&params, 2).unwrap();
         let mut branches = 0u64;
         let mut mispredicted = 0u64;

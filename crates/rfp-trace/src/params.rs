@@ -296,27 +296,33 @@ mod tests {
 
     #[test]
     fn invalid_fraction_is_rejected() {
-        let mut p = GenParams::default();
-        p.load_frac = 1.5;
+        let p = GenParams {
+            load_frac: 1.5,
+            ..GenParams::default()
+        };
         assert_eq!(p.validate().unwrap_err().field(), "load_frac");
     }
 
     #[test]
     fn zero_mix_is_rejected() {
-        let mut p = GenParams::default();
-        p.value_mix = ValueMix {
-            constant: 0.0,
-            stride: 0.0,
-            random: 0.0,
+        let p = GenParams {
+            value_mix: ValueMix {
+                constant: 0.0,
+                stride: 0.0,
+                random: 0.0,
+            },
+            ..GenParams::default()
         };
         assert!(p.validate().is_err());
     }
 
     #[test]
     fn memory_heavy_mix_is_rejected() {
-        let mut p = GenParams::default();
-        p.load_frac = 0.6;
-        p.store_frac = 0.5;
+        let p = GenParams {
+            load_frac: 0.6,
+            store_frac: 0.5,
+            ..GenParams::default()
+        };
         assert!(p.validate().is_err());
     }
 

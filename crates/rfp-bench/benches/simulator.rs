@@ -14,7 +14,7 @@ use rfp_bench::{default_threads, run_grid, update_bench_json};
 use rfp_core::{
     simulate_workload, simulate_workload_probed, CalendarQueue, CoreConfig, OracleMode, VpMode,
 };
-use rfp_obs::{ChromeTraceSink, MetricsSink, NoopProbe};
+use rfp_obs::{ChromeTraceSink, MetricsSink, NoopProbe, ProfileSink};
 use rfp_predictors::{DlvpConfig, ValuePredictorConfig};
 
 const LEN: u64 = 8_000;
@@ -144,6 +144,13 @@ fn bench_probe_overhead(c: &mut Criterion) {
             )
         })
     });
+    g.bench_function("profile_sink", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_workload_probed(&cfg, &workload, LEN, ProfileSink::new()).expect("valid"),
+            )
+        })
+    });
     g.bench_function("chrome_trace_sink", |b| {
         b.iter(|| {
             black_box(
@@ -229,6 +236,9 @@ fn bench_engine_json(_c: &mut Criterion) {
     let metrics_secs = time_run(&|| {
         simulate_workload_probed(&probe_cfg, &w, probe_len, MetricsSink::new()).expect("valid");
     });
+    let profile_secs = time_run(&|| {
+        simulate_workload_probed(&probe_cfg, &w, probe_len, ProfileSink::new()).expect("valid");
+    });
     let chrome_secs = time_run(&|| {
         simulate_workload_probed(
             &probe_cfg,
@@ -261,7 +271,7 @@ fn bench_engine_json(_c: &mut Criterion) {
         uops as f64 / serial_secs,
     );
     let probe = format!(
-        "{{\n    \"uops\": {probe_len},\n    \"uninstrumented_secs\": {plain_secs:.6},\n    \"noop_probe_secs\": {noop_secs:.6},\n    \"metrics_sink_secs\": {metrics_secs:.6},\n    \"chrome_trace_sink_secs\": {chrome_secs:.6}\n  }}",
+        "{{\n    \"uops\": {probe_len},\n    \"uninstrumented_secs\": {plain_secs:.6},\n    \"noop_probe_secs\": {noop_secs:.6},\n    \"metrics_sink_secs\": {metrics_secs:.6},\n    \"profile_sink_secs\": {profile_secs:.6},\n    \"chrome_trace_sink_secs\": {chrome_secs:.6}\n  }}",
     );
     let path = std::path::Path::new(concat!(
         env!("CARGO_MANIFEST_DIR"),

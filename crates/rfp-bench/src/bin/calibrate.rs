@@ -8,12 +8,14 @@
 //!
 //! Observability outputs (side files; stdout is unchanged):
 //! `--metrics-out FILE` writes the RFP row's per-workload latency
-//! histograms (JSON), `--trace-out DIR` (with `--trace-workload W`,
+//! histograms (JSON), `--profile-out FILE` its per-load-PC attribution
+//! profile (JSON), `--trace-out DIR` (with `--trace-workload W`,
 //! default `spec17_mcf`) writes a Perfetto pipeline trace, and
 //! `--telemetry-out FILE` writes per-job engine telemetry (JSONL).
 
 use rfp_bench::{
-    default_threads, metrics_reports_json, run_grid_full, telemetry_jsonl, trace_workload_json,
+    default_threads, metrics_reports_json, profile_reports_json, run_grid_full, telemetry_jsonl,
+    trace_workload_json,
 };
 use rfp_core::{CoreConfig, OracleMode};
 use rfp_stats::{geomean_speedup, mean_frac};
@@ -46,6 +48,7 @@ fn main() {
     let trace_workload =
         take_flag(&mut args, "--trace-workload").unwrap_or_else(|| "spec17_mcf".to_string());
     let metrics_out = take_flag(&mut args, "--metrics-out");
+    let profile_out = take_flag(&mut args, "--profile-out");
     let telemetry_out = take_flag(&mut args, "--telemetry-out");
     // Positional length, strictly parsed — a typo like `100_000` must not
     // silently fall back to the default. `RFP_TRACE_LEN` (also strict)
@@ -69,7 +72,12 @@ fn main() {
         CoreConfig::tiger_lake().with_oracle(OracleMode::L1ToRf),
         CoreConfig::tiger_lake().with_oracle(OracleMode::MemToLlc),
     ];
-    let outcome = run_grid_full(&configs, len, threads, metrics_out.is_some());
+    let outcome = run_grid_full(
+        &configs,
+        len,
+        threads,
+        metrics_out.is_some() || profile_out.is_some(),
+    );
     let mut rows = outcome.reports.into_iter();
     let (base, rfp, o_l1, o_mem) = (
         rows.next().expect("base row"),
@@ -95,6 +103,10 @@ fn main() {
     if let Some(file) = &metrics_out {
         write_or_die(file, &metrics_reports_json(&rfp_cfg, len, &rfp));
         eprintln!("wrote metrics histograms to {file}");
+    }
+    if let Some(file) = &profile_out {
+        write_or_die(file, &profile_reports_json(&rfp_cfg, len, &rfp));
+        eprintln!("wrote per-load-PC profile to {file}");
     }
     if let Some(dir) = &trace_out {
         let w = rfp_trace::by_name(&trace_workload).unwrap_or_else(|| {

@@ -6,7 +6,8 @@
 //!
 //! Ids: fig1 fig2 tab1 tab2 fig10 fig11 fig12 fig13 fig14 s522 fig15 fig16
 //! fig17 fig18 s552 s553 s554 s555 ext1 ext2, or `all`, plus the
-//! observability extras `timeliness` and `cpi` (not part of `all`). Set
+//! observability extras `timeliness`, `cpi` and `profile` (not part of
+//! `all`). Set
 //! `RFP_TRACE_LEN` to change the measured micro-ops per workload (default
 //! 120000). `--threads N` (or `RFP_THREADS`) sizes the work-stealing pool;
 //! the default is the machine's available parallelism. `RFP_WARM_MODE`
@@ -23,13 +24,18 @@
 //!   `spec17_mcf`).
 //! - `--metrics-out <file>`: write per-workload latency histograms (JSON)
 //!   for the RFP config over the whole suite.
+//! - `--profile-out <file>`: write the per-load-PC attribution profile
+//!   (JSON) for the RFP config over the whole suite.
+//! - `--collapsed-out <file>`: write the same profile as collapsed stacks
+//!   (`pc;outcome count` lines) for flamegraph tooling.
 //! - `--telemetry-out <file>`: write per-job engine telemetry (JSONL):
 //!   worker, queue depth at grab time, wall nanos.
 //!
 //! Regression sentinel: `experiments diff <baseline.json> <candidate.json>`
-//! compares two `--metrics-out` documents leaf by leaf under the
-//! tolerances embedded in the baseline, printing a violations table.
-//! Exit code 0 = within tolerance, 1 = regression, 2 = bad input.
+//! compares two `--metrics-out` (or `--profile-out`) documents leaf by
+//! leaf under the tolerances embedded in the baseline, printing a
+//! violations table. Exit code 0 = within tolerance, 1 = regression,
+//! 2 = bad input.
 
 use rfp_bench::{
     default_threads, diff_metrics, telemetry_jsonl, trace_len_from_env, trace_workload_json,
@@ -102,13 +108,20 @@ fn main() {
     let trace_workload =
         take_flag(&mut args, "--trace-workload").unwrap_or_else(|| "spec17_mcf".to_string());
     let metrics_out = take_flag(&mut args, "--metrics-out");
+    let profile_out = take_flag(&mut args, "--profile-out");
+    let collapsed_out = take_flag(&mut args, "--collapsed-out");
     let telemetry_out = take_flag(&mut args, "--telemetry-out");
-    let side_outputs = trace_out.is_some() || metrics_out.is_some() || telemetry_out.is_some();
+    let side_outputs = trace_out.is_some()
+        || metrics_out.is_some()
+        || profile_out.is_some()
+        || collapsed_out.is_some()
+        || telemetry_out.is_some();
     if (args.is_empty() && !side_outputs) || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: experiments [--threads N] [--trace-out DIR] [--trace-workload W] \
-             [--metrics-out FILE] [--telemetry-out FILE] <id>... | all\n  ids: {}\n  \
-             extras (not in `all`): timeliness cpi\n  \
+             [--metrics-out FILE] [--profile-out FILE] [--collapsed-out FILE] \
+             [--telemetry-out FILE] <id>... | all\n  ids: {}\n  \
+             extras (not in `all`): timeliness cpi profile\n  \
              regression sentinel: experiments diff <baseline.json> <candidate.json>\n  \
              env: RFP_TRACE_LEN=<uops> (default {DEFAULT_TRACE_LEN}), RFP_THREADS=<n>",
             Harness::ALL_IDS.join(" ")
@@ -125,7 +138,11 @@ fn main() {
     } else {
         let mut ids = Vec::new();
         for a in &args {
-            if Harness::ALL_IDS.contains(&a.as_str()) || a == "timeliness" || a == "cpi" {
+            if Harness::ALL_IDS.contains(&a.as_str())
+                || a == "timeliness"
+                || a == "cpi"
+                || a == "profile"
+            {
                 ids.push(a.as_str());
             } else {
                 eprintln!("unknown experiment id: {a} (try --help)");
@@ -141,8 +158,15 @@ fn main() {
     // attached; pinning their warm snapshots now lets those passes fork
     // the warmup the main sweep already paid.
     let rfp_cfg = CoreConfig::tiger_lake().with_rfp();
-    if metrics_out.is_some() || ids.contains(&"timeliness") {
+    if metrics_out.is_some()
+        || profile_out.is_some()
+        || collapsed_out.is_some()
+        || ids.contains(&"profile")
+        || ids.contains(&"timeliness")
+    {
         h.pin_config(&rfp_cfg);
+    }
+    if metrics_out.is_some() || ids.contains(&"timeliness") {
         let mut dedicated = rfp_cfg.clone();
         dedicated.ports.dedicated_rfp = dedicated.ports.load_ports;
         h.pin_config(&dedicated);
@@ -167,6 +191,14 @@ fn main() {
     if let Some(file) = &metrics_out {
         write_or_die(file, &h.metrics_json(&rfp_cfg));
         eprintln!("wrote metrics histograms to {file}");
+    }
+    if let Some(file) = &profile_out {
+        write_or_die(file, &h.profile_json(&rfp_cfg));
+        eprintln!("wrote per-load-PC profile to {file}");
+    }
+    if let Some(file) = &collapsed_out {
+        write_or_die(file, &h.profile_collapsed(&rfp_cfg));
+        eprintln!("wrote collapsed stacks to {file} (feed to flamegraph.pl)");
     }
     if let Some(dir) = &trace_out {
         let w = rfp_trace::by_name(&trace_workload).unwrap_or_else(|| {

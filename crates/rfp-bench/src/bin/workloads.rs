@@ -10,8 +10,9 @@
 //! under the RFP configuration (`RFP_TRACE_LEN` micro-ops, default
 //! 120000) and writes a Perfetto/`chrome://tracing` pipeline +
 //! prefetch-lifetime trace to `DIR/<name>.trace.json`; `--metrics-out
-//! FILE` writes its latency histograms as JSON. The stdout description
-//! is unchanged.
+//! FILE` writes its latency histograms as JSON and `--profile-out FILE`
+//! its per-load-PC attribution profile. The stdout description is
+//! unchanged.
 
 use rfp_stats::TextTable;
 use rfp_trace::{AddrPattern, StaticKind, WorkingSetClass, Workload};
@@ -69,38 +70,55 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(v)
 }
 
-/// Simulates `w` under the RFP config with both observability sinks
+/// Simulates `w` under the RFP config with every observability sink
 /// attached and writes whichever outputs were requested.
-fn observe(w: &Workload, trace_out: Option<&str>, metrics_out: Option<&str>) {
-    use rfp_obs::{ChromeTraceSink, MetricsSink, TeeProbe};
+fn observe(
+    w: &Workload,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+    profile_out: Option<&str>,
+) {
+    use rfp_obs::{ChromeTraceSink, MetricsSink, ProfileSink, TeeProbe};
     let len = rfp_bench::trace_len_from_env(rfp_bench::DEFAULT_TRACE_LEN);
     let cfg = rfp_core::CoreConfig::tiger_lake().with_rfp();
-    let tee = TeeProbe::new(ChromeTraceSink::new(cfg.rob_entries), MetricsSink::new());
+    let tee = TeeProbe::new(
+        TeeProbe::new(ChromeTraceSink::new(cfg.rob_entries), MetricsSink::new()),
+        ProfileSink::new(),
+    );
     let (_report, tee) =
         rfp_core::simulate_workload_probed(&cfg, w, len, tee).expect("valid config");
+    let write_or_die = |path: &str, contents: &str| {
+        std::fs::write(path, contents).unwrap_or_else(|e| {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(2);
+        });
+    };
     if let Some(dir) = trace_out {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| {
             eprintln!("error: mkdir {dir}: {e}");
             std::process::exit(2);
         });
         let path = format!("{dir}/{}.trace.json", w.name);
-        std::fs::write(&path, tee.a.into_json()).unwrap_or_else(|e| {
-            eprintln!("error: write {path}: {e}");
-            std::process::exit(2);
-        });
+        write_or_die(&path, &tee.a.a.into_json());
         eprintln!("wrote pipeline trace to {path} (load in Perfetto or chrome://tracing)");
     }
     if let Some(file) = metrics_out {
         let json = format!(
             "{{\"workload\":\"{}\",\"len\":{len},\"metrics\":{}}}\n",
             rfp_types::json_escape(w.name),
-            tee.b.into_metrics().to_json()
+            tee.a.b.into_metrics().to_json()
         );
-        std::fs::write(file, json).unwrap_or_else(|e| {
-            eprintln!("error: write {file}: {e}");
-            std::process::exit(2);
-        });
+        write_or_die(file, &json);
         eprintln!("wrote metrics histograms to {file}");
+    }
+    if let Some(file) = profile_out {
+        let json = format!(
+            "{{\"workload\":\"{}\",\"len\":{len},\"profile\":{}}}\n",
+            rfp_types::json_escape(w.name),
+            tee.b.into_report().to_json()
+        );
+        write_or_die(file, &json);
+        eprintln!("wrote per-load-PC profile to {file}");
     }
 }
 
@@ -113,12 +131,19 @@ fn main() {
     }
     let trace_out = take_flag(&mut args, "--trace-out");
     let metrics_out = take_flag(&mut args, "--metrics-out");
+    let profile_out = take_flag(&mut args, "--profile-out");
+    let side_outputs = trace_out.is_some() || metrics_out.is_some() || profile_out.is_some();
     if let Some(name) = args.first() {
         match rfp_trace::by_name(name) {
             Some(w) => {
                 describe(&w);
-                if trace_out.is_some() || metrics_out.is_some() {
-                    observe(&w, trace_out.as_deref(), metrics_out.as_deref());
+                if side_outputs {
+                    observe(
+                        &w,
+                        trace_out.as_deref(),
+                        metrics_out.as_deref(),
+                        profile_out.as_deref(),
+                    );
                 }
             }
             None => {
@@ -128,8 +153,8 @@ fn main() {
         }
         return;
     }
-    if trace_out.is_some() || metrics_out.is_some() {
-        eprintln!("--trace-out/--metrics-out need a workload name");
+    if side_outputs {
+        eprintln!("--trace-out/--metrics-out/--profile-out need a workload name");
         std::process::exit(2);
     }
     let mut t = TextTable::new(&[

@@ -23,7 +23,7 @@ use rfp_core::{
     report_for, simulate_workload, simulate_workload_probed, simulate_workload_probed_from_trace,
     warm_up_workload, CoreConfig, VpMode, WarmState,
 };
-use rfp_obs::{CpiStackSink, MetricsSink, TeeProbe};
+use rfp_obs::{CpiStackSink, MetricsSink, ProfileSink, TeeProbe};
 use rfp_stats::SimReport;
 use rfp_trace::{MicroOp, Workload};
 use rfp_types::json_escape;
@@ -534,18 +534,24 @@ fn pooled_job(
     }
 }
 
-/// The sink pair every instrumented grid job carries: latency metrics
-/// plus the CPI stack, fanned out from one event stream.
-type ObsSinks = TeeProbe<MetricsSink, CpiStackSink>;
+/// The sink trio every instrumented grid job carries: latency metrics,
+/// the CPI stack, and the per-load-PC profile, fanned out from one
+/// event stream.
+type ObsSinks = TeeProbe<TeeProbe<MetricsSink, CpiStackSink>, ProfileSink>;
 
 fn obs_sinks() -> ObsSinks {
-    TeeProbe::new(MetricsSink::new(), CpiStackSink::new())
+    TeeProbe::new(
+        TeeProbe::new(MetricsSink::new(), CpiStackSink::new()),
+        ProfileSink::new(),
+    )
 }
 
-/// Moves a drained sink pair into the report's `obs`/`cpi` slots.
+/// Moves a drained sink trio into the report's `obs`/`cpi`/`profile`
+/// slots.
 fn attach_obs(r: &mut SimReport, sink: ObsSinks) {
-    r.obs = Some(Box::new(sink.a.into_metrics()));
-    r.cpi = Some(Box::new(sink.b.into_report()));
+    r.obs = Some(Box::new(sink.a.a.into_metrics()));
+    r.cpi = Some(Box::new(sink.a.b.into_report()));
+    r.profile = Some(Box::new(sink.b.into_report()));
 }
 
 /// Per-job scheduling and wall-time telemetry from one grid run.
@@ -971,6 +977,19 @@ mod tests {
                 m.rfp_complete_rel_issue.total(),
                 o.stats.rfp_useful,
                 "{}: one timeliness sample per useful prefetch",
+                o.workload
+            );
+            let prof = o.profile.as_ref().expect("profile attached");
+            let t = prof.totals();
+            assert_eq!(
+                t.useful(),
+                o.stats.rfp_useful,
+                "{}: per-site useful sums to the aggregate",
+                o.workload
+            );
+            assert_eq!(
+                t.injected, o.stats.rfp_injected,
+                "{}: per-site injections sum to the aggregate",
                 o.workload
             );
         }

@@ -26,8 +26,9 @@ use std::collections::{HashMap, HashSet};
 use rfp_core::{CoreConfig, OracleMode, VpMode};
 use rfp_predictors::{storage_table, DlvpConfig, PrefetchTableConfig, ValuePredictorConfig};
 use rfp_stats::{
-    geomean_speedup, mean_frac, pct, CpiBucket, CpiReport, Log2Histogram, ObsMetrics, SimReport,
-    TextTable, CPI_INTERVALS, CPI_INTERVAL_SHIFT,
+    geomean_speedup, mean_frac, pct, CpiBucket, CpiReport, Log2Histogram, ObsMetrics,
+    ProfileReport, SimReport, TextTable, CPI_INTERVALS, CPI_INTERVAL_SHIFT, PREDICT_MISS_LABELS,
+    PROFILE_DROP_LABELS,
 };
 use rfp_trace::Category;
 use rfp_types::json_escape;
@@ -179,6 +180,7 @@ impl Harness {
             // because their instrumented runs don't share the plain cache.
             "timeliness" => self.timeliness(),
             "cpi" => self.cpi(),
+            "profile" => self.profile(),
             other => panic!("unknown experiment id: {other}"),
         }
     }
@@ -1344,6 +1346,201 @@ impl Harness {
         )
     }
 
+    /// Observability report (`experiments profile`): *why* every RFP
+    /// prefetch succeeded or failed, attributed to the static load PC
+    /// that spawned it.
+    ///
+    /// The aggregate funnel (`timeliness`) says how many packets died of
+    /// each cause; this report says *where*. Every prefetch-lifecycle
+    /// event carries its load's PC, so the profiler can rank call sites
+    /// by the retire slots their misses actually cost (the join against
+    /// the CPI-stack attribution) and name each site's bottleneck —
+    /// port starvation, lateness, a cold predictor — instead of leaving
+    /// the user to guess from whole-run percentages.
+    ///
+    /// Before rendering, the per-site sums are reconciled against the
+    /// independently-collected `CoreStats` and [`ObsMetrics`] aggregates
+    /// ([`Self::reconcile_profile`]); any mismatch is a hard error.
+    pub fn profile(&mut self) -> String {
+        let reports = self
+            .obs_suite_for("rfp-obs", &CoreConfig::tiger_lake().with_rfp())
+            .to_vec();
+        let prof = Self::reconcile_profile(&reports);
+        let t = prof.totals();
+        let frac = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+
+        let mut top = TextTable::new(&[
+            "site",
+            "loads",
+            "miss share",
+            "coverage",
+            "late",
+            "mean Q wait",
+            "stall slots",
+            "bottleneck",
+        ]);
+        for (pc, s) in prof.top_offenders(15) {
+            top.row(&[
+                &format!("{pc:#x}"),
+                &s.loads.to_string(),
+                &pct(frac(s.misses, t.misses)),
+                &pct(s.coverage()),
+                &pct(s.late_frac()),
+                &format!("{:.1} cy", s.mean_queue_wait()),
+                &s.stall_slots.to_string(),
+                s.bottleneck(),
+            ]);
+        }
+
+        let mut outcomes = TextTable::new(&["terminal outcome", "packets", "share"]);
+        let terminal = t.terminal_total();
+        outcomes.row(&[
+            "useful, fully hidden",
+            &t.useful_fully_hidden.to_string(),
+            &pct(frac(t.useful_fully_hidden, terminal)),
+        ]);
+        outcomes.row(&[
+            "useful, late",
+            &t.useful_late.to_string(),
+            &pct(frac(t.useful_late, terminal)),
+        ]);
+        outcomes.row(&[
+            "wrong address",
+            &t.wrong_addr.to_string(),
+            &pct(frac(t.wrong_addr, terminal)),
+        ]);
+        for (label, &count) in PROFILE_DROP_LABELS.iter().zip(&t.drops) {
+            if *label == "queue-full" {
+                continue; // outside the funnel: never injected
+            }
+            outcomes.row(&[
+                &format!("dropped: {label}"),
+                &count.to_string(),
+                &pct(frac(count, terminal)),
+            ]);
+        }
+
+        let mut np = TextTable::new(&["no prediction because", "loads"]);
+        np.row(&["(queue full, pre-inject)", &t.drops[2].to_string()]);
+        for (label, &count) in PREDICT_MISS_LABELS.iter().zip(&t.not_predicted) {
+            np.row(&[label, &count.to_string()]);
+        }
+
+        format!(
+            "Per-load-PC attribution (observability): why each site's prefetches\n\
+             succeeded or failed, over all 65 workloads under the RFP config.\n\
+             Sites ranked by retire slots lost to memory/rfp-late stalls while a\n\
+             load from that PC blocked the ROB head; reconciliation against the\n\
+             aggregate counters passed exactly.\n\n\
+             {} distinct load sites; top offenders:\n\n{}\n\
+             Terminal outcome of every injected packet:\n\n{}\n\
+             Loads that never injected a packet:\n\n{}",
+            prof.site_count(),
+            top.render(),
+            outcomes.render(),
+            np.render()
+        )
+    }
+
+    /// Merges an obs-instrumented suite's per-site profiles and
+    /// cross-checks them against the two independent aggregate views of
+    /// the same run — `CoreStats` (the simulator's own counters) and the
+    /// [`ObsMetrics`] sink — panicking on any mismatch. The profiler is
+    /// a *decomposition* of those aggregates, so the sums must reconcile
+    /// exactly, refined reasons folded through the same mapping
+    /// `MetricsSink` uses (mshr-starve -> l1-miss, no-port -> load-first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any per-site sum disagrees with its aggregate — that
+    /// means the event stream and the counters have diverged and every
+    /// number in the report is suspect.
+    pub fn reconcile_profile(reports: &[SimReport]) -> ProfileReport {
+        let prof = Self::merged_profile(reports);
+        let obs = Self::merged_obs(reports);
+        let t = prof.totals();
+        let sum = |f: &dyn Fn(&SimReport) -> u64| reports.iter().map(f).sum::<u64>();
+        assert_eq!(
+            t.useful(),
+            sum(&|r| r.stats.rfp_useful),
+            "per-site useful prefetches != CoreStats rfp_useful"
+        );
+        assert_eq!(
+            t.useful(),
+            obs.rfp_complete_rel_issue.total(),
+            "per-site useful prefetches != ObsMetrics timeliness samples"
+        );
+        assert_eq!(
+            t.injected,
+            sum(&|r| r.stats.rfp_injected),
+            "per-site injections != CoreStats rfp_injected"
+        );
+        assert_eq!(
+            t.wrong_addr,
+            sum(&|r| r.stats.rfp_wrong_addr),
+            "per-site wrong-address != CoreStats rfp_wrong_addr"
+        );
+        let folded = [
+            t.drops[0] + t.drops[6], // load-first + no-port
+            t.drops[1],
+            t.drops[2],
+            t.drops[3] + t.drops[5], // l1-miss + mshr-starve
+            t.drops[4],
+        ];
+        let stats_funnel = [
+            sum(&|r| r.stats.rfp_dropped_load_first),
+            sum(&|r| r.stats.rfp_dropped_tlb),
+            sum(&|r| r.stats.rfp_dropped_queue_full),
+            sum(&|r| r.stats.rfp_dropped_l1_miss),
+            sum(&|r| r.stats.rfp_dropped_squashed),
+        ];
+        assert_eq!(
+            folded, stats_funnel,
+            "per-site drop funnel != CoreStats rfp_dropped_*"
+        );
+        assert_eq!(
+            folded,
+            obs.drops_by_reason(),
+            "per-site drop funnel != ObsMetrics drop timeline"
+        );
+        prof
+    }
+
+    /// The `--profile-out` payload for `cfg`: the per-site profile of an
+    /// obs-instrumented suite run as one JSON document, reconciled first
+    /// (see [`Self::reconcile_profile`]). A separate document from
+    /// [`Self::metrics_json`] so the metrics baseline stays untouched;
+    /// gate it with `experiments diff baselines/profile.json`.
+    pub fn profile_json(&mut self, cfg: &CoreConfig) -> String {
+        let len = self.len;
+        let reports = self.obs_suite_for("profile", cfg).to_vec();
+        profile_reports_json(cfg, len, &reports)
+    }
+
+    /// The `--collapsed-out` payload for `cfg`: the merged per-site
+    /// profile as collapsed stacks (`pc;outcome count` lines) for
+    /// flamegraph tooling.
+    pub fn profile_collapsed(&mut self, cfg: &CoreConfig) -> String {
+        let reports = self.obs_suite_for("profile", cfg).to_vec();
+        Self::merged_profile(&reports).collapsed()
+    }
+
+    /// Merges the per-workload profiles of an obs-instrumented suite run
+    /// into one report (commutative, so order doesn't matter).
+    fn merged_profile(reports: &[SimReport]) -> ProfileReport {
+        let mut m = ProfileReport::default();
+        for r in reports {
+            m.merge(r.profile.as_ref().expect("profile-instrumented run"));
+        }
+        m
+    }
+
     /// Merges the per-workload metrics of an obs-instrumented suite run
     /// into one aggregate (commutative, so order doesn't matter).
     fn merged_obs(reports: &[SimReport]) -> ObsMetrics {
@@ -1424,6 +1621,24 @@ pub fn metrics_reports_json(cfg: &CoreConfig, len: u64, reports: &[SimReport]) -
         agg.to_json(),
         agg_cpi.to_json(),
         rows.join(",")
+    )
+}
+
+/// Renders the merged per-site profile of obs-instrumented `reports`
+/// (one suite row, as produced by [`run_grid_obs`]) as one JSON document
+/// — the `--profile-out` payload — after reconciling the per-site sums
+/// against the aggregate counters ([`Harness::reconcile_profile`]).
+///
+/// # Panics
+///
+/// Panics if a report carries no `profile` payload or the sums fail to
+/// reconcile.
+pub fn profile_reports_json(cfg: &CoreConfig, len: u64, reports: &[SimReport]) -> String {
+    let prof = Harness::reconcile_profile(reports);
+    format!(
+        "{{\"config_key\":\"{:016x}\",\"len\":{len},\"profile\":{}}}\n",
+        config_key(cfg),
+        prof.to_json()
     )
 }
 
@@ -1508,6 +1723,111 @@ mod tests {
         // Three instrumented configs (baseline, RFP, oracle), no plain runs.
         assert_eq!(h.cache.len(), 0);
         assert_eq!(h.obs_cache.len(), 3);
+    }
+
+    #[test]
+    fn profile_is_an_extra_outside_all() {
+        // Same contract as `timeliness`/`cpi`: `all` stays byte-identical,
+        // so the profiler dispatches by name without joining `ALL_IDS`.
+        assert!(!Harness::ALL_IDS.contains(&"profile"));
+        let mut h = Harness::with_threads(1_000, 2);
+        let s = h.run("profile");
+        assert!(s.contains("top offenders"));
+        assert!(s.contains("bottleneck"));
+        assert!(s.contains("useful, fully hidden"));
+        assert!(s.contains("0x"), "sites are hex PCs");
+        // One instrumented config (RFP), no plain runs.
+        assert_eq!(h.cache.len(), 0);
+        assert_eq!(h.obs_cache.len(), 1);
+        // The shared obs pass: `timeliness` reuses the RFP run the
+        // profiler just paid for and only adds the dedicated-ports one.
+        h.run("timeliness");
+        assert_eq!(h.obs_cache.len(), 2, "rfp obs run simulated once");
+    }
+
+    #[test]
+    fn profile_json_and_collapsed_parse_shapewise() {
+        let cfg = CoreConfig::tiger_lake().with_rfp();
+        let mut h = Harness::with_threads(600, 2);
+        let json = h.profile_json(&cfg);
+        assert!(json.starts_with("{\"config_key\":\""));
+        assert!(json.contains("\"profile\":{\"site_count\":"));
+        assert!(json.contains("\"totals\":{\"loads\":"));
+        assert!(json.ends_with("}\n"));
+        let parsed = parse_json(json.trim_end()).expect("profile JSON parses");
+        let flat = flatten(&parsed);
+        assert!(flat.iter().any(|(k, _)| k == "len"));
+        assert!(flat.iter().any(|(k, _)| k.contains("profile.totals.loads")));
+        let collapsed = h.profile_collapsed(&cfg);
+        for line in collapsed.lines() {
+            let (frame, count) = line.rsplit_once(' ').expect("`pc;outcome count` shape");
+            assert!(frame.starts_with("0x") && frame.contains(';'), "{line}");
+            assert!(count.parse::<u64>().is_ok(), "{line}");
+        }
+        // Both went through the same obs pass: one cached run.
+        assert_eq!(h.obs_cache.len(), 1);
+    }
+
+    #[test]
+    fn chrome_trace_json_is_well_formed() {
+        // The trace sink hand-writes its JSON; parse it back with the
+        // diff parser and check the event-shape contract Perfetto needs.
+        let cfg = CoreConfig::tiger_lake().with_rfp();
+        let w = rfp_trace::suite()
+            .into_iter()
+            .find(|w| w.name == "spec17_mcf")
+            .expect("suite workload");
+        let doc = trace_workload_json(&cfg, &w, 2_000);
+        let parsed = parse_json(&doc).expect("trace JSON parses");
+        let Json::Obj(top) = &parsed else {
+            panic!("top level must be an object")
+        };
+        let events = top
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v)
+            .expect("traceEvents key");
+        let Json::Arr(events) = events else {
+            panic!("traceEvents must be an array")
+        };
+        assert!(!events.is_empty(), "a 2k-uop run must emit events");
+        let field = |obj: &[(String, Json)], key: &str| -> Option<Json> {
+            obj.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+        };
+        let mut slices = 0;
+        for e in events {
+            let Json::Obj(e) = e else {
+                panic!("every event must be an object")
+            };
+            assert!(matches!(field(e, "name"), Some(Json::Str(_))));
+            let Some(Json::Str(ph)) = field(e, "ph") else {
+                panic!("every event needs a phase")
+            };
+            assert!(matches!(field(e, "pid"), Some(Json::Num(_))));
+            if ph != "M" {
+                // Metadata names a process; everything else sits on a lane.
+                assert!(matches!(field(e, "tid"), Some(Json::Num(_))));
+            }
+            match ph.as_str() {
+                // Complete slices carry both endpoints — the "matched
+                // begin/end" contract (the sink never emits split B/E
+                // pairs, so a lone B can't dangle).
+                "X" => {
+                    slices += 1;
+                    let Some(Json::Num(ts)) = field(e, "ts") else {
+                        panic!("slice without ts")
+                    };
+                    let Some(Json::Num(dur)) = field(e, "dur") else {
+                        panic!("slice without dur")
+                    };
+                    assert!(ts >= 0.0 && dur >= 0.0);
+                }
+                "i" => assert!(matches!(field(e, "ts"), Some(Json::Num(_)))),
+                "M" => assert!(matches!(field(e, "args"), Some(Json::Obj(_)))),
+                other => panic!("unexpected phase {other:?}"),
+            }
+        }
+        assert!(slices > 0, "retired pipeline must produce slices");
     }
 
     #[test]

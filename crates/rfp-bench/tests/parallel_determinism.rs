@@ -7,7 +7,7 @@ use rfp_bench::{
     WarmMode, WarmPool,
 };
 use rfp_core::{simulate_workload, CoreConfig};
-use rfp_stats::{CpiBucket, CpiReport, ObsMetrics, SimReport};
+use rfp_stats::{CpiBucket, CpiReport, ObsMetrics, ProfileReport, SimReport};
 
 const LEN: u64 = 3_000;
 
@@ -149,6 +149,57 @@ fn cpi_stacks_conserve_and_merge_order_independently() {
         assert!(forward.stack.total() > 0);
         assert_eq!(forward, reverse);
         assert_eq!(forward.to_json(), reverse.to_json());
+    }
+}
+
+#[test]
+fn profiles_merge_order_independently_and_reconcile() {
+    // The per-site profiler inherits the engine's merge contract: the
+    // per-workload reports combine into one suite profile whose JSON and
+    // collapsed stacks are byte-identical in any merge order, and whose
+    // sums reconcile exactly with the aggregate counters (the tentpole
+    // cross-check, here exercised over the real grid).
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let reports = run_grid_obs(std::slice::from_ref(&cfg), LEN, 4)
+        .pop()
+        .expect("one row");
+    assert!(reports.iter().all(|r| r.profile.is_some()));
+    let mut forward = ProfileReport::default();
+    for r in &reports {
+        forward.merge(r.profile.as_ref().expect("profile attached"));
+    }
+    let mut reverse = ProfileReport::default();
+    for r in reports.iter().rev() {
+        reverse.merge(r.profile.as_ref().expect("profile attached"));
+    }
+    assert!(forward.site_count() > 0);
+    assert_eq!(forward, reverse);
+    assert_eq!(forward.to_json(), reverse.to_json());
+    assert_eq!(forward.collapsed(), reverse.collapsed());
+    // Reconciliation over the merged suite (panics on mismatch).
+    let reconciled = rfp_bench::Harness::reconcile_profile(&reports);
+    assert_eq!(reconciled, forward);
+}
+
+#[test]
+fn profiles_are_identical_at_any_thread_count() {
+    // Structural thread invariance of the profiler, at the counts the CI
+    // matrix uses.
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let reference = run_grid_obs(std::slice::from_ref(&cfg), LEN, 1)
+        .pop()
+        .expect("one row");
+    for threads in [2, 8] {
+        let got = run_grid_obs(std::slice::from_ref(&cfg), LEN, threads)
+            .pop()
+            .expect("one row");
+        for (a, b) in reference.iter().zip(&got) {
+            assert_eq!(
+                a.profile, b.profile,
+                "{}: profile diverged at {threads} threads",
+                a.workload
+            );
+        }
     }
 }
 

@@ -30,10 +30,10 @@ use std::time::Instant;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rfp_mem::{HitLevel, LoadPorts, MemoryHierarchy, PortClient};
-use rfp_obs::{DropReason, FlushKind, NoopProbe, Probe, ProbeEvent, UopClass};
+use rfp_obs::{DropReason, FlushKind, NoopProbe, PredictMiss, Probe, ProbeEvent, UopClass};
 use rfp_predictors::{
     ContextPrefetcher, CriticalityTable, Dlvp, Gshare, HitMissPredictor, IpStridePrefetcher,
-    PathHistory, PrefetchTable, PtDecision, StoreSets, ValuePredictor,
+    PathHistory, PrefetchTable, PtDecision, PtMissKind, StoreSets, ValuePredictor,
 };
 use rfp_stats::{CoreStats, CpiBucket};
 use rfp_trace::{MicroOp, UopKind};
@@ -707,6 +707,7 @@ impl<P: Probe> Core<P> {
                         now,
                         ProbeEvent::RfpDrop {
                             seq: inst.seq,
+                            pc: inst.uop.pc,
                             reason: DropReason::Squashed,
                         },
                     );
@@ -812,6 +813,7 @@ impl<P: Probe> Core<P> {
     /// slots (`rfp_hidden` of them RFP-fully-hidden loads) and
     /// `retire_width - retired` empty slots charged to `stall`.
     fn emit_retire_slots(&mut self, retired: usize, rfp_hidden: usize, stall: CpiBucket) {
+        let head_pc = self.rob.front().map(|h| h.uop.pc);
         self.probe.emit(
             self.cycle,
             ProbeEvent::RetireSlots {
@@ -819,6 +821,7 @@ impl<P: Probe> Core<P> {
                 retired: retired as u8,
                 rfp_hidden: rfp_hidden as u8,
                 stall,
+                head_pc,
             },
         );
     }
@@ -1069,12 +1072,13 @@ impl<P: Probe> Core<P> {
         }
         if P::ENABLED {
             let now = self.cycle;
-            let class = uop_class(self.inst(seq).expect("in window").uop.kind);
+            let uop = self.inst(seq).expect("in window").uop;
             self.probe.emit(
                 now,
                 ProbeEvent::Execute {
                     seq,
-                    class,
+                    pc: uop.pc,
+                    class: uop_class(uop.kind),
                     issue: now,
                     complete: done,
                     level: None,
@@ -1134,15 +1138,24 @@ impl<P: Probe> Core<P> {
         let vp_active = self.inst(seq).is_some_and(|i| i.predicted_value.is_some());
 
         match rfp_state {
-            RfpState::Queued { .. } => {
-                // The load beat its own prefetch: drop the packet.
+            RfpState::Queued { denied, .. } => {
+                // The load beat its own prefetch: drop the packet. For
+                // attribution, a packet that lost at least one port
+                // arbitration died of port starvation; one that never
+                // got a turn is a plain scheduling race. Both bump the
+                // same coarse load-first counter.
                 self.stats.rfp_dropped_load_first += 1;
                 if P::ENABLED {
                     self.probe.emit(
                         now,
                         ProbeEvent::RfpDrop {
                             seq,
-                            reason: DropReason::LoadFirst,
+                            pc: uop.pc,
+                            reason: if denied {
+                                DropReason::NoPort
+                            } else {
+                                DropReason::LoadFirst
+                            },
                         },
                     );
                 }
@@ -1177,6 +1190,7 @@ impl<P: Probe> Core<P> {
                             now,
                             ProbeEvent::RfpResolve {
                                 seq,
+                                pc: uop.pc,
                                 useful: true,
                                 fully_hidden,
                                 rfp_complete: complete,
@@ -1202,6 +1216,7 @@ impl<P: Probe> Core<P> {
                         now,
                         ProbeEvent::RfpResolve {
                             seq,
+                            pc: uop.pc,
                             useful: false,
                             fully_hidden: false,
                             rfp_complete: complete,
@@ -1345,10 +1360,12 @@ impl<P: Probe> Core<P> {
             let inst = self.inst(seq).expect("in window");
             let issue = inst.issue_cycle.unwrap_or(now);
             let forwarded = inst.forwarded;
+            let pc = inst.uop.pc;
             self.probe.emit(
                 now,
                 ProbeEvent::Execute {
                     seq,
+                    pc,
                     class: UopClass::Load,
                     issue,
                     complete: done,
@@ -1418,6 +1435,7 @@ impl<P: Probe> Core<P> {
                 now,
                 ProbeEvent::Execute {
                     seq,
+                    pc,
                     class: UopClass::Store,
                     issue: now,
                     complete: done,
@@ -1552,8 +1570,8 @@ impl<P: Probe> Core<P> {
             // Stale or superseded packet?
             let state = self
                 .inst(pkt.seq)
-                .map(|i| (i.gen, i.rfp, i.issue_cycle.is_some()));
-            let Some((gen, state, issued)) = state else {
+                .map(|i| (i.gen, i.rfp, i.issue_cycle.is_some(), i.uop.pc));
+            let Some((gen, state, issued, pc)) = state else {
                 self.rfp_queue.pop_front();
                 continue;
             };
@@ -1572,6 +1590,7 @@ impl<P: Probe> Core<P> {
                         self.cycle,
                         ProbeEvent::RfpDrop {
                             seq: pkt.seq,
+                            pc,
                             reason: DropReason::TlbMiss,
                         },
                     );
@@ -1591,6 +1610,7 @@ impl<P: Probe> Core<P> {
                         .ports
                         .try_acquire_with(PortClient::Rfp, now, &mut self.probe)
                     {
+                        self.mark_rfp_denied(pkt.seq);
                         break;
                     }
                     let store_done = self
@@ -1613,6 +1633,7 @@ impl<P: Probe> Core<P> {
                             now,
                             ProbeEvent::RfpExecute {
                                 seq: pkt.seq,
+                                pc,
                                 addr: pkt.addr,
                                 complete,
                                 level: HitLevel::L1.index(),
@@ -1638,7 +1659,8 @@ impl<P: Probe> Core<P> {
                                 self.cycle,
                                 ProbeEvent::RfpDrop {
                                     seq: pkt.seq,
-                                    reason: DropReason::L1Miss,
+                                    pc,
+                                    reason: DropReason::MshrStarve,
                                 },
                             );
                         }
@@ -1653,6 +1675,7 @@ impl<P: Probe> Core<P> {
                         .ports
                         .try_acquire_with(PortClient::Rfp, now, &mut self.probe)
                     {
+                        self.mark_rfp_denied(pkt.seq);
                         break;
                     }
                     let result = self.mem.access_with(pkt.addr, now, false, &mut self.probe);
@@ -1663,6 +1686,7 @@ impl<P: Probe> Core<P> {
                                 now,
                                 ProbeEvent::RfpDrop {
                                     seq: pkt.seq,
+                                    pc,
                                     reason: DropReason::L1Miss,
                                 },
                             );
@@ -1688,6 +1712,7 @@ impl<P: Probe> Core<P> {
                             now,
                             ProbeEvent::RfpExecute {
                                 seq: pkt.seq,
+                                pc,
                                 addr: pkt.addr,
                                 complete: result.complete_at,
                                 level: result.level.index(),
@@ -1698,6 +1723,19 @@ impl<P: Probe> Core<P> {
                     self.publish_rfp_timing(pkt.seq, result.complete_at);
                     self.rfp_queue.pop_front();
                 }
+            }
+        }
+    }
+
+    /// Records that a queued packet lost an L1 port arbitration. Pure
+    /// drop-attribution bookkeeping: the flag is only ever read when
+    /// the load later beats its own prefetch (NoPort vs LoadFirst), so
+    /// setting it unconditionally — probes on or not — keeps probed and
+    /// unprobed runs on the exact same state trajectory.
+    fn mark_rfp_denied(&mut self, seq: SeqNum) {
+        if let Some(i) = self.inst_mut(seq) {
+            if let RfpState::Queued { denied, .. } = &mut i.rfp {
+                *denied = true;
             }
         }
     }
@@ -1944,7 +1982,27 @@ impl<P: Probe> Core<P> {
             PtDecision::Prefetch(a) => Some(a),
             PtDecision::NoPrefetch => ctx_pred,
         };
-        let Some(addr) = predicted_addr else { return };
+        let Some(addr) = predicted_addr else {
+            // The predictors declined: per-site attribution wants to
+            // know why. `miss_kind` is read-only, so querying it only
+            // under probes cannot perturb the simulation.
+            if P::ENABLED {
+                let kind = match self.pt.as_ref().map(|pt| pt.miss_kind(pc)) {
+                    None | Some(PtMissKind::Cold) => PredictMiss::Cold,
+                    Some(PtMissKind::LowConfidence) => PredictMiss::LowConfidence,
+                    Some(PtMissKind::NoAddress) => PredictMiss::NoAddress,
+                };
+                self.probe.emit(
+                    now,
+                    ProbeEvent::RfpNotPredicted {
+                        seq: inst.seq,
+                        pc,
+                        kind,
+                    },
+                );
+            }
+            return;
+        };
         if self.rfp_queue.len() >= rfp_cfg.queue_entries {
             // Rejected before entering the funnel: `rfp_injected` is not
             // incremented, so queue-full drops sit outside the terminal-
@@ -1955,6 +2013,7 @@ impl<P: Probe> Core<P> {
                     now,
                     ProbeEvent::RfpDrop {
                         seq: inst.seq,
+                        pc,
                         reason: DropReason::QueueFull,
                     },
                 );
@@ -1962,7 +2021,10 @@ impl<P: Probe> Core<P> {
             return;
         }
         self.stats.rfp_injected += 1;
-        inst.rfp = RfpState::Queued { addr };
+        inst.rfp = RfpState::Queued {
+            addr,
+            denied: false,
+        };
         if P::ENABLED {
             self.probe.emit(
                 now,

@@ -27,6 +27,11 @@ pub enum RfpState {
     Queued {
         /// Predicted address carried by the packet.
         addr: Addr,
+        /// The packet lost at least one L1 port arbitration while
+        /// queued. Pure bookkeeping for drop attribution (a load
+        /// issuing over a denied packet is *port starvation*, not a
+        /// scheduling race); never read by the simulation proper.
+        denied: bool,
     },
     /// The prefetch won L1 arbitration and is fetching data
     /// (`RFP-inflight` is set).
@@ -233,6 +238,7 @@ mod tests {
         i.complete_cycle = Some(150);
         i.rfp = RfpState::Queued {
             addr: Addr::new(0x1000),
+            denied: false,
         };
         let g = i.gen;
         i.squash_execution(400);
@@ -246,7 +252,11 @@ mod tests {
 
     #[test]
     fn rfp_state_predicates() {
-        assert!(RfpState::Queued { addr: Addr::new(0) }.is_queued());
+        assert!(RfpState::Queued {
+            addr: Addr::new(0),
+            denied: false,
+        }
+        .is_queued());
         assert!(RfpState::InFlight {
             addr: Addr::new(0),
             lookup_start: 0,

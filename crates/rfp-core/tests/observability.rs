@@ -3,7 +3,9 @@
 //! funnel, and the funnel itself must balance on real runs.
 
 use rfp_core::{simulate, simulate_workload, simulate_workload_probed, Core, CoreConfig};
-use rfp_obs::{ChromeTraceSink, CpiStackSink, MetricsSink, NoopProbe, Probe, ProbeEvent, TeeProbe};
+use rfp_obs::{
+    ChromeTraceSink, CpiStackSink, MetricsSink, NoopProbe, Probe, ProbeEvent, ProfileSink, TeeProbe,
+};
 use rfp_stats::CpiBucket;
 use rfp_trace::{MemRef, MicroOp};
 use rfp_types::{Addr, ArchReg, Cycle, Pc};
@@ -252,6 +254,89 @@ fn cpi_stack_conserves_across_the_warmup_reset() {
     // A probed CPI run must not perturb the simulation.
     let plain = simulate_workload(&cfg, &w, 6_000).unwrap();
     assert_eq!(plain.canonical_text(), report.canonical_text());
+}
+
+#[test]
+fn profile_sink_decomposes_the_aggregate_funnel_per_site() {
+    // The per-load-PC profiler must be an exact decomposition of the
+    // aggregate counters: summed over sites, every outcome class equals
+    // the CoreStats counter for the same run, with the refined drop
+    // reasons folded the way MetricsSink folds them (mshr-starve ->
+    // l1-miss, no-port -> load-first).
+    for (name, ops) in [
+        ("strided", strided_chain(4_000)),
+        ("messy", messy_trace(2_000)),
+    ] {
+        let cfg = CoreConfig::tiger_lake().with_rfp();
+        let (stats, sink) = Core::with_probe(cfg, ProfileSink::new())
+            .unwrap()
+            .run_with_warmup_probed(ops, 0);
+        let prof = sink.into_report();
+        let t = prof.totals();
+        assert_eq!(t.useful(), stats.rfp_useful, "{name}: useful");
+        assert_eq!(
+            t.useful_fully_hidden, stats.rfp_fully_hidden,
+            "{name}: fully hidden"
+        );
+        assert_eq!(t.injected, stats.rfp_injected, "{name}: injected");
+        assert_eq!(t.wrong_addr, stats.rfp_wrong_addr, "{name}: wrong addr");
+        assert_eq!(
+            t.drops[0] + t.drops[6],
+            stats.rfp_dropped_load_first,
+            "{name}: load-first + no-port"
+        );
+        assert_eq!(t.drops[1], stats.rfp_dropped_tlb, "{name}: tlb");
+        assert_eq!(t.drops[2], stats.rfp_dropped_queue_full, "{name}: queue");
+        assert_eq!(
+            t.drops[3] + t.drops[5],
+            stats.rfp_dropped_l1_miss,
+            "{name}: l1-miss + mshr-starve"
+        );
+        assert_eq!(t.drops[4], stats.rfp_dropped_squashed, "{name}: squashed");
+        // Warmup-free, so the funnel balances site by site, not just in
+        // aggregate: every injected packet died exactly once at its PC.
+        for (pc, s) in &prof.sites {
+            assert_eq!(
+                s.terminal_total(),
+                s.injected,
+                "{name}: site {pc:#x} leaked a packet"
+            );
+        }
+    }
+}
+
+#[test]
+fn profile_sink_attributes_outcomes_to_the_right_sites() {
+    // Both synthetic traces put all their loads at one known PC; every
+    // prefetch outcome must land there and nowhere else.
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let (stats, sink) = Core::with_probe(cfg, ProfileSink::new())
+        .unwrap()
+        .run_with_warmup_probed(strided_chain(3_000), 0);
+    let prof = sink.into_report();
+    assert!(stats.rfp_useful > 0);
+    let site = prof.sites.get(&0x400).expect("the strided load site");
+    assert_eq!(site.useful(), stats.rfp_useful);
+    assert!(site.loads > 0);
+    // The dependent-ALU PC never executes a load or spawns a prefetch.
+    assert!(!prof.sites.contains_key(&0x404));
+}
+
+#[test]
+fn profile_probed_run_matches_unprobed_run_exactly() {
+    // The `denied` port-starvation bookkeeping is maintained whether or
+    // not a probe is attached, so profiling must not perturb the
+    // simulation by a single cycle.
+    let w = rfp_trace::by_name("spec06_libquantum").expect("in the suite");
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let plain = simulate_workload(&cfg, &w, 6_000).unwrap();
+    let (probed, sink) = simulate_workload_probed(&cfg, &w, 6_000, ProfileSink::new()).unwrap();
+    assert_eq!(plain.canonical_text(), probed.canonical_text());
+    // And the sink respected the warmup reset: its measured-window sums
+    // mirror the (reset) stats counters.
+    let t = sink.into_report().totals();
+    assert_eq!(t.useful(), probed.stats.rfp_useful);
+    assert_eq!(t.injected, probed.stats.rfp_injected);
 }
 
 #[test]

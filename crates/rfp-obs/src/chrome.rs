@@ -243,6 +243,7 @@ impl Probe for ChromeTraceSink {
                 fully_hidden,
                 rfp_complete,
                 load_issue,
+                ..
             } => {
                 if let Some(rec) = self.rfp.remove(&seq.raw()) {
                     let name = if useful { "rfp-useful" } else { "rfp-wrong" };
@@ -267,7 +268,7 @@ impl Probe for ChromeTraceSink {
                     );
                 }
             }
-            ProbeEvent::RfpDrop { seq, reason } => {
+            ProbeEvent::RfpDrop { seq, reason, .. } => {
                 let name = format!("rfp-drop-{}", reason.label());
                 match self.rfp.remove(&seq.raw()) {
                     Some(rec) => {
@@ -300,6 +301,9 @@ impl Probe for ChromeTraceSink {
             ProbeEvent::StatsReset => {
                 self.instant(1, 0, "stats-reset", cycle, String::new());
             }
+            // The profile sink owns not-predicted attribution; rendering
+            // an instant per unpredicted load would dwarf the event cap.
+            ProbeEvent::RfpNotPredicted { .. } => {}
             // Per-cycle slot accounting would dwarf the event cap and the
             // timeline already shows retirement; the CPI sink owns these.
             ProbeEvent::RetireSlots { .. } => {}
@@ -332,6 +336,7 @@ mod tests {
             13,
             ProbeEvent::Execute {
                 seq: seq(0),
+                pc: Pc::new(0x400),
                 class: UopClass::Load,
                 issue: 13,
                 complete: 18,
@@ -361,6 +366,7 @@ mod tests {
             22,
             ProbeEvent::RfpExecute {
                 seq: seq(1),
+                pc: Pc::new(0x404),
                 addr: Addr::new(0x1000),
                 complete: 27,
                 level: 0,
@@ -371,6 +377,7 @@ mod tests {
             30,
             ProbeEvent::RfpResolve {
                 seq: seq(1),
+                pc: Pc::new(0x404),
                 useful: true,
                 fully_hidden: true,
                 rfp_complete: 27,
@@ -398,6 +405,7 @@ mod tests {
             9,
             ProbeEvent::RfpDrop {
                 seq: seq(2),
+                pc: Pc::new(0x408),
                 reason: DropReason::TlbMiss,
             },
         );
@@ -406,6 +414,7 @@ mod tests {
             11,
             ProbeEvent::RfpDrop {
                 seq: seq(3),
+                pc: Pc::new(0x40c),
                 reason: DropReason::QueueFull,
             },
         );

@@ -53,6 +53,7 @@ impl Probe for CpiStackSink {
                 retired,
                 rfp_hidden,
                 stall,
+                ..
             } => {
                 let uops = self.retired_uops;
                 if rfp_hidden > 0 {
@@ -88,6 +89,7 @@ mod tests {
             retired,
             rfp_hidden,
             stall,
+            head_pc: None,
         }
     }
 

@@ -22,11 +22,12 @@
 //!
 //! ```
 //! use rfp_obs::{MetricsSink, Probe, ProbeEvent, UopClass};
-//! use rfp_types::SeqNum;
+//! use rfp_types::{Pc, SeqNum};
 //!
 //! let mut sink = MetricsSink::new();
 //! sink.emit(10, ProbeEvent::Execute {
 //!     seq: SeqNum::new(0),
+//!     pc: Pc::new(0x400100),
 //!     class: UopClass::Load,
 //!     issue: 10,
 //!     complete: 15,
@@ -42,10 +43,12 @@
 mod chrome;
 mod cpi_sink;
 mod metrics;
+mod profile_sink;
 
 pub use chrome::ChromeTraceSink;
 pub use cpi_sink::CpiStackSink;
 pub use metrics::MetricsSink;
+pub use profile_sink::ProfileSink;
 
 use rfp_stats::CpiBucket;
 use rfp_types::{Addr, Cycle, Pc, SeqNum};
@@ -80,24 +83,41 @@ impl UopClass {
 
 /// Why a prefetch packet died.
 ///
-/// The discriminant doubles as the reason index in
-/// [`rfp_stats::ObsMetrics::rfp_drops_over_time`].
+/// The discriminant doubles as the per-site drop index in
+/// [`rfp_stats::SiteProfile::drops`]. The funnel kept by
+/// [`rfp_stats::ObsMetrics::rfp_drops_over_time`] and `CoreStats` is
+/// coarser (5 reasons): [`DropReason::funnel_index`] maps the refined
+/// reasons onto it — `MshrStarve` folds into the `l1-miss` counter and
+/// `NoPort` into `load-first`, exactly mirroring which `rfp_dropped_*`
+/// counter the core bumps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DropReason {
-    /// The load issued before its own prefetch won a port.
+    /// The load issued before its own prefetch won a port — and the
+    /// packet was never actually denied a port (it simply never got a
+    /// turn before the load's own AGU slot arrived).
     LoadFirst = 0,
     /// The predicted address missed the DTLB.
     TlbMiss = 1,
     /// The RFP queue was full at injection (never entered the funnel).
     QueueFull = 2,
-    /// The lookup missed the L1 (or would have starved a demand miss).
+    /// The lookup missed the L1.
     L1Miss = 3,
     /// A pipeline flush squashed the load while its packet was live.
     Squashed = 4,
+    /// The lookup would have allocated the last MSHR and starved a
+    /// demand miss (counted as `l1-miss` in the coarse funnel).
+    MshrStarve = 5,
+    /// The load issued first *after* the packet lost at least one L1
+    /// port arbitration — port starvation (counted as `load-first` in
+    /// the coarse funnel).
+    NoPort = 6,
 }
 
+/// Refined drop reasons, one slot per [`DropReason`] discriminant.
+pub const PROFILE_DROP_REASONS: usize = 7;
+
 impl DropReason {
-    /// Short label for trace output.
+    /// Short label for trace and profile output.
     pub fn label(self) -> &'static str {
         match self {
             DropReason::LoadFirst => "load-first",
@@ -105,6 +125,47 @@ impl DropReason {
             DropReason::QueueFull => "queue-full",
             DropReason::L1Miss => "l1-miss",
             DropReason::Squashed => "squashed",
+            DropReason::MshrStarve => "mshr-starve",
+            DropReason::NoPort => "no-port",
+        }
+    }
+
+    /// Index into the coarse 5-reason funnel
+    /// ([`rfp_stats::ObsMetrics::rfp_drops_over_time`], the
+    /// `rfp_dropped_*` counters): the refined reasons fold onto the
+    /// counter the core actually bumps.
+    pub fn funnel_index(self) -> usize {
+        match self {
+            DropReason::MshrStarve => DropReason::L1Miss as usize,
+            DropReason::NoPort => DropReason::LoadFirst as usize,
+            r => r as usize,
+        }
+    }
+}
+
+/// Why the predictors produced no address for a load (the
+/// [`ProbeEvent::RfpNotPredicted`] payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictMiss {
+    /// No trained prefetch-table entry for this PC (cold or evicted).
+    Cold = 0,
+    /// The entry exists but its confidence counter is not saturated.
+    LowConfidence = 1,
+    /// The entry is confident but no base address could be formed
+    /// (stale Page Address Table pointer).
+    NoAddress = 2,
+}
+
+/// Number of [`PredictMiss`] kinds, one slot per discriminant.
+pub const PREDICT_MISS_KINDS: usize = 3;
+
+impl PredictMiss {
+    /// Short label for profile output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PredictMiss::Cold => "cold",
+            PredictMiss::LowConfidence => "low-confidence",
+            PredictMiss::NoAddress => "no-address",
         }
     }
 }
@@ -141,6 +202,8 @@ pub enum ProbeEvent {
     Execute {
         /// Sequence number.
         seq: SeqNum,
+        /// Program counter (per-site attribution key).
+        pc: Pc,
         /// Micro-op class.
         class: UopClass,
         /// Cycle execution (AGU for memory ops) started.
@@ -184,6 +247,8 @@ pub enum ProbeEvent {
     RfpExecute {
         /// The load's sequence number.
         seq: SeqNum,
+        /// The load's program counter.
+        pc: Pc,
         /// Predicted address.
         addr: Addr,
         /// Cycle the data lands in the physical register.
@@ -198,6 +263,8 @@ pub enum ProbeEvent {
     RfpResolve {
         /// The load's sequence number.
         seq: SeqNum,
+        /// The load's program counter.
+        pc: Pc,
         /// The load consumed the prefetched data.
         useful: bool,
         /// The data was ready by load issue + 1 (§5.2.2 fully hidden).
@@ -211,8 +278,22 @@ pub enum ProbeEvent {
     RfpDrop {
         /// The load's sequence number.
         seq: SeqNum,
+        /// The load's program counter.
+        pc: Pc,
         /// Why the packet died.
         reason: DropReason,
+    },
+    /// A load reached the prefetch decision point and the predictors
+    /// produced no address (the "not-predicted" leg of the per-site
+    /// outcome taxonomy — loads filtered out *before* prediction, e.g.
+    /// by the VP filter, do not emit this).
+    RfpNotPredicted {
+        /// The load's sequence number.
+        seq: SeqNum,
+        /// The load's program counter.
+        pc: Pc,
+        /// Why no address was produced.
+        kind: PredictMiss,
     },
     /// The memory hierarchy served an access (demand, store commit, or
     /// RFP lookup).
@@ -248,6 +329,10 @@ pub enum ProbeEvent {
         /// Bucket charged for the empty slots (only meaningful when
         /// `retired < width`).
         stall: CpiBucket,
+        /// PC of the ROB head blocking retirement (`None`: empty ROB).
+        /// Lets the profile sink attribute stall slots to the load at
+        /// the head.
+        head_pc: Option<Pc>,
     },
     /// The core reset its statistics (end of the warmup window). Sinks
     /// that mirror `CoreStats` semantics reset here too.
@@ -369,12 +454,28 @@ mod tests {
     #[test]
     fn drop_reason_indices_match_stats_layout() {
         // rfp_stats::ObsMetrics::rfp_drops_over_time documents the reason
-        // order; the enum discriminants are that index.
+        // order; the enum discriminants are that index. The refined
+        // reasons (MshrStarve, NoPort) sit past the coarse funnel and
+        // fold onto the counter the core actually bumps.
         assert_eq!(DropReason::LoadFirst as usize, 0);
         assert_eq!(DropReason::TlbMiss as usize, 1);
         assert_eq!(DropReason::QueueFull as usize, 2);
         assert_eq!(DropReason::L1Miss as usize, 3);
         assert_eq!(DropReason::Squashed as usize, 4);
+        assert_eq!(DropReason::MshrStarve as usize, 5);
+        assert_eq!(DropReason::NoPort as usize, 6);
         assert_eq!(rfp_stats::DROP_REASONS, 5);
+        assert_eq!(rfp_stats::PROFILE_DROP_REASONS, PROFILE_DROP_REASONS);
+        for r in [
+            DropReason::LoadFirst,
+            DropReason::TlbMiss,
+            DropReason::QueueFull,
+            DropReason::L1Miss,
+            DropReason::Squashed,
+        ] {
+            assert_eq!(r.funnel_index(), r as usize, "coarse reasons map to self");
+        }
+        assert_eq!(DropReason::MshrStarve.funnel_index(), 3, "-> l1-miss");
+        assert_eq!(DropReason::NoPort.funnel_index(), 0, "-> load-first");
     }
 }

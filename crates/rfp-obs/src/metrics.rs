@@ -76,7 +76,10 @@ impl Probe for MetricsSink {
                     .record(rfp_complete as i64 - load_issue as i64);
             }
             ProbeEvent::RfpDrop { reason, .. } => {
-                m.rfp_drops_over_time[ObsMetrics::drop_window(cycle)][reason as usize] += 1;
+                // The refined taxonomy (mshr-starve, no-port) folds onto the
+                // coarse 5-bucket funnel so the ObsMetrics layout — and every
+                // committed baseline — stays unchanged.
+                m.rfp_drops_over_time[ObsMetrics::drop_window(cycle)][reason.funnel_index()] += 1;
             }
             ProbeEvent::StatsReset => {
                 *m = ObsMetrics::default();
@@ -90,7 +93,7 @@ impl Probe for MetricsSink {
 mod tests {
     use super::*;
     use crate::DropReason;
-    use rfp_types::{Addr, SeqNum};
+    use rfp_types::{Addr, Pc, SeqNum};
 
     fn seq(n: u64) -> SeqNum {
         SeqNum::new(n)
@@ -103,6 +106,7 @@ mod tests {
             100,
             ProbeEvent::Execute {
                 seq: seq(1),
+                pc: Pc::new(0x400),
                 class: UopClass::Load,
                 issue: 100,
                 complete: 105,
@@ -114,6 +118,7 @@ mod tests {
             100,
             ProbeEvent::Execute {
                 seq: seq(2),
+                pc: Pc::new(0x404),
                 class: UopClass::Load,
                 issue: 100,
                 complete: 103,
@@ -126,6 +131,7 @@ mod tests {
             100,
             ProbeEvent::Execute {
                 seq: seq(3),
+                pc: Pc::new(0x408),
                 class: UopClass::Alu,
                 issue: 100,
                 complete: 101,
@@ -145,6 +151,7 @@ mod tests {
             50,
             ProbeEvent::RfpExecute {
                 seq: seq(1),
+                pc: Pc::new(0x400),
                 addr: Addr::new(0x1000),
                 complete: 57,
                 level: 0,
@@ -155,6 +162,7 @@ mod tests {
             60,
             ProbeEvent::RfpResolve {
                 seq: seq(1),
+                pc: Pc::new(0x400),
                 useful: true,
                 fully_hidden: true,
                 rfp_complete: 57,
@@ -166,6 +174,7 @@ mod tests {
             61,
             ProbeEvent::RfpResolve {
                 seq: seq(2),
+                pc: Pc::new(0x404),
                 useful: false,
                 fully_hidden: false,
                 rfp_complete: 70,
@@ -176,6 +185,7 @@ mod tests {
             70,
             ProbeEvent::RfpDrop {
                 seq: seq(3),
+                pc: Pc::new(0x408),
                 reason: DropReason::TlbMiss,
             },
         );
@@ -193,6 +203,7 @@ mod tests {
             10,
             ProbeEvent::RfpDrop {
                 seq: seq(1),
+                pc: Pc::new(0x400),
                 reason: DropReason::LoadFirst,
             },
         );
@@ -202,9 +213,34 @@ mod tests {
             30,
             ProbeEvent::RfpDrop {
                 seq: seq(2),
+                pc: Pc::new(0x404),
                 reason: DropReason::Squashed,
             },
         );
         assert_eq!(s.into_metrics().drops_by_reason(), [0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn refined_drop_reasons_fold_onto_the_coarse_funnel() {
+        let mut s = MetricsSink::new();
+        s.emit(
+            10,
+            ProbeEvent::RfpDrop {
+                seq: seq(1),
+                pc: Pc::new(0x400),
+                reason: DropReason::MshrStarve,
+            },
+        );
+        s.emit(
+            11,
+            ProbeEvent::RfpDrop {
+                seq: seq(2),
+                pc: Pc::new(0x404),
+                reason: DropReason::NoPort,
+            },
+        );
+        // MshrStarve counts as l1-miss, NoPort as load-first: the 5-wide
+        // aggregate funnel (and its baselines) cannot tell them apart.
+        assert_eq!(s.into_metrics().drops_by_reason(), [1, 0, 0, 1, 0]);
     }
 }

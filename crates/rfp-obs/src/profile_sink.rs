@@ -1,0 +1,315 @@
+//! The per-load-PC attribution sink: folds prefetch-lifecycle events
+//! into a [`rfp_stats::ProfileReport`].
+
+use rfp_stats::{CpiBucket, ProfileReport};
+use rfp_types::Cycle;
+
+use crate::{Probe, ProbeEvent, UopClass};
+
+/// Aggregates prefetch outcomes per originating load PC — the data
+/// source of `experiments profile`.
+///
+/// Like [`MetricsSink`](crate::MetricsSink), the sink carries no state
+/// beyond the report, which is a pure function of the event stream, so
+/// per-workload reports merge across the work-stealing engine by plain
+/// addition — deterministic in any order.
+///
+/// On [`ProbeEvent::StatsReset`] (end of the core's warmup window) the
+/// report resets, mirroring `CoreStats` semantics: the profile covers
+/// the measured window only, which is what makes the per-site counters
+/// reconcile exactly with the aggregate `rfp_*` counters.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSink {
+    report: ProfileReport,
+}
+
+impl ProfileSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The report collected so far.
+    pub fn report(&self) -> &ProfileReport {
+        &self.report
+    }
+
+    /// Consumes the sink, returning the collected report.
+    pub fn into_report(self) -> ProfileReport {
+        self.report
+    }
+}
+
+/// Stall buckets the profiler charges to the blocking load's site: the
+/// memory tiers plus the rfp-late bucket. Frontend/structural/dep-chain
+/// stalls are not a load site's fault.
+fn memish(stall: CpiBucket) -> bool {
+    matches!(
+        stall,
+        CpiBucket::MemL1
+            | CpiBucket::MemMshr
+            | CpiBucket::MemL2
+            | CpiBucket::MemLlc
+            | CpiBucket::MemDram
+            | CpiBucket::RfpLate
+    )
+}
+
+impl Probe for ProfileSink {
+    const ENABLED: bool = true;
+
+    fn emit(&mut self, _cycle: Cycle, event: ProbeEvent) {
+        match event {
+            ProbeEvent::Execute {
+                pc,
+                class: UopClass::Load,
+                level,
+                forwarded,
+                ..
+            } => {
+                let site = self.report.site_mut(pc.raw());
+                site.loads += 1;
+                if !forwarded && level.is_some_and(|l| l >= 1) {
+                    site.misses += 1;
+                }
+            }
+            ProbeEvent::RfpInject { pc, .. } => {
+                self.report.site_mut(pc.raw()).injected += 1;
+            }
+            ProbeEvent::RfpExecute { pc, queued_for, .. } => {
+                let site = self.report.site_mut(pc.raw());
+                site.queue_wait_sum += queued_for;
+                site.queue_wait_n += 1;
+            }
+            ProbeEvent::RfpResolve {
+                pc,
+                useful,
+                fully_hidden,
+                rfp_complete,
+                load_issue,
+                ..
+            } => {
+                let site = self.report.site_mut(pc.raw());
+                if !useful {
+                    site.wrong_addr += 1;
+                } else if fully_hidden {
+                    site.useful_fully_hidden += 1;
+                } else {
+                    site.useful_late += 1;
+                    site.lateness
+                        .record(rfp_complete.saturating_sub(load_issue + 1));
+                }
+            }
+            ProbeEvent::RfpDrop { pc, reason, .. } => {
+                self.report.site_mut(pc.raw()).drops[reason as usize] += 1;
+            }
+            ProbeEvent::RfpNotPredicted { pc, kind, .. } => {
+                self.report.site_mut(pc.raw()).not_predicted[kind as usize] += 1;
+            }
+            ProbeEvent::RetireSlots {
+                width,
+                retired,
+                stall,
+                head_pc: Some(pc),
+                ..
+            } if width > retired && memish(stall) => {
+                self.report.site_mut(pc.raw()).stall_slots += (width - retired) as u64;
+            }
+            ProbeEvent::StatsReset => {
+                self.report = ProfileReport::default();
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DropReason, PredictMiss};
+    use rfp_stats::{PREDICT_MISS_LABELS, PROFILE_DROP_LABELS};
+    use rfp_types::{Addr, Pc, SeqNum};
+
+    const PC: u64 = 0x400100;
+
+    fn exec(pc: u64, level: Option<u8>, forwarded: bool) -> ProbeEvent {
+        ProbeEvent::Execute {
+            seq: SeqNum::new(0),
+            pc: Pc::new(pc),
+            class: UopClass::Load,
+            issue: 10,
+            complete: 15,
+            level,
+            forwarded,
+        }
+    }
+
+    fn resolve(pc: u64, useful: bool, fully_hidden: bool, complete: u64) -> ProbeEvent {
+        ProbeEvent::RfpResolve {
+            seq: SeqNum::new(0),
+            pc: Pc::new(pc),
+            useful,
+            fully_hidden,
+            rfp_complete: complete,
+            load_issue: 100,
+        }
+    }
+
+    fn drop(pc: u64, reason: DropReason) -> ProbeEvent {
+        ProbeEvent::RfpDrop {
+            seq: SeqNum::new(0),
+            pc: Pc::new(pc),
+            reason,
+        }
+    }
+
+    #[test]
+    fn outcomes_land_on_the_right_site_counters() {
+        let mut s = ProfileSink::new();
+        s.emit(1, exec(PC, Some(0), false)); // L1 hit: load, not a miss
+        s.emit(2, exec(PC, Some(4), false)); // DRAM: miss
+        s.emit(3, exec(PC, None, true)); // forwarded: not a miss
+        s.emit(4, resolve(PC, true, true, 100));
+        s.emit(5, resolve(PC, true, false, 109)); // 8 cycles late
+        s.emit(6, resolve(PC, false, false, 100));
+        s.emit(7, drop(PC, DropReason::NoPort));
+        s.emit(
+            8,
+            ProbeEvent::RfpNotPredicted {
+                seq: SeqNum::new(0),
+                pc: Pc::new(PC),
+                kind: PredictMiss::LowConfidence,
+            },
+        );
+        let site = &s.report().sites[&PC];
+        assert_eq!(site.loads, 3);
+        assert_eq!(site.misses, 1);
+        assert_eq!(site.useful_fully_hidden, 1);
+        assert_eq!(site.useful_late, 1);
+        assert_eq!(site.lateness.total(), 1);
+        assert_eq!(site.lateness.buckets[4], 1, "8 cycles late -> [8,16)");
+        assert_eq!(site.wrong_addr, 1);
+        assert_eq!(site.drops[DropReason::NoPort as usize], 1);
+        assert_eq!(site.not_predicted[PredictMiss::LowConfidence as usize], 1);
+    }
+
+    #[test]
+    fn queue_wait_and_injections_accumulate() {
+        let mut s = ProfileSink::new();
+        s.emit(
+            1,
+            ProbeEvent::RfpInject {
+                seq: SeqNum::new(0),
+                pc: Pc::new(PC),
+                addr: Addr::new(0x1000),
+            },
+        );
+        s.emit(
+            2,
+            ProbeEvent::RfpExecute {
+                seq: SeqNum::new(0),
+                pc: Pc::new(PC),
+                addr: Addr::new(0x1000),
+                complete: 20,
+                level: 0,
+                queued_for: 3,
+            },
+        );
+        let site = &s.report().sites[&PC];
+        assert_eq!(site.injected, 1);
+        assert_eq!(site.queue_wait_sum, 3);
+        assert_eq!(site.queue_wait_n, 1);
+        assert!((site.mean_queue_wait() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_slots_charge_only_memish_stalls_with_a_head() {
+        let slots = |stall, head_pc| ProbeEvent::RetireSlots {
+            width: 5,
+            retired: 2,
+            rfp_hidden: 0,
+            stall,
+            head_pc,
+        };
+        let mut s = ProfileSink::new();
+        s.emit(1, slots(CpiBucket::MemDram, Some(Pc::new(PC))));
+        s.emit(2, slots(CpiBucket::RfpLate, Some(Pc::new(PC))));
+        s.emit(3, slots(CpiBucket::Frontend, Some(Pc::new(PC)))); // not memish
+
+        // No head PC attributes nowhere.
+        s.emit(4, slots(CpiBucket::MemL2, None));
+        // Full-width retirement charges nothing even if memish.
+        s.emit(
+            5,
+            ProbeEvent::RetireSlots {
+                width: 5,
+                retired: 5,
+                rfp_hidden: 0,
+                stall: CpiBucket::Retiring,
+                head_pc: Some(Pc::new(PC)),
+            },
+        );
+        assert_eq!(s.report().sites[&PC].stall_slots, 6, "two stalls x 3 slots");
+    }
+
+    #[test]
+    fn stats_reset_clears_the_report() {
+        let mut s = ProfileSink::new();
+        s.emit(1, exec(PC, Some(0), false));
+        s.emit(2, ProbeEvent::StatsReset);
+        assert_eq!(s.report().site_count(), 0);
+        s.emit(3, exec(PC, Some(0), false));
+        let r = s.into_report();
+        assert_eq!(r.sites[&PC].loads, 1);
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let events = [
+            exec(PC, Some(2), false),
+            resolve(PC, true, false, 120),
+            drop(0x400200, DropReason::MshrStarve),
+            exec(0x400200, Some(0), false),
+        ];
+        let mut whole = ProfileSink::new();
+        for (c, e) in events.iter().enumerate() {
+            whole.emit(c as u64, *e);
+        }
+        let mut first = ProfileSink::new();
+        first.emit(0, events[0]);
+        first.emit(1, events[1]);
+        let mut second = ProfileSink::new();
+        second.emit(0, events[2]);
+        second.emit(1, events[3]);
+        let mut ab = first.report().clone();
+        ab.merge(second.report());
+        let mut ba = second.report().clone();
+        ba.merge(first.report());
+        assert_eq!(ab, ba);
+        assert_eq!(&ab, whole.report());
+    }
+
+    #[test]
+    fn labels_align_with_stats_tables() {
+        for (r, want) in [
+            (DropReason::LoadFirst, 0),
+            (DropReason::TlbMiss, 1),
+            (DropReason::QueueFull, 2),
+            (DropReason::L1Miss, 3),
+            (DropReason::Squashed, 4),
+            (DropReason::MshrStarve, 5),
+            (DropReason::NoPort, 6),
+        ] {
+            assert_eq!(r.label(), PROFILE_DROP_LABELS[want]);
+            assert_eq!(r as usize, want);
+        }
+        for (k, want) in [
+            (PredictMiss::Cold, 0),
+            (PredictMiss::LowConfidence, 1),
+            (PredictMiss::NoAddress, 2),
+        ] {
+            assert_eq!(k.label(), PREDICT_MISS_LABELS[want]);
+            assert_eq!(k as usize, want);
+        }
+    }
+}

@@ -58,6 +58,6 @@ pub use eves::{ValuePredictor, ValuePredictorConfig};
 pub use hit_miss::HitMissPredictor;
 pub use ip_prefetch::IpStridePrefetcher;
 pub use pat::{PageAddrTable, PatPointer, PAT_ENTRIES, PAT_ENTRY_BITS, PAT_POINTER_BITS, PAT_WAYS};
-pub use prefetch_table::{PrefetchTable, PrefetchTableConfig, PtDecision, PtStorage};
+pub use prefetch_table::{PrefetchTable, PrefetchTableConfig, PtDecision, PtMissKind, PtStorage};
 pub use storage::{storage_table, StorageRow};
 pub use store_sets::{StoreSetId, StoreSets};

@@ -157,6 +157,22 @@ pub enum PtDecision {
     Prefetch(Addr),
 }
 
+/// Why [`PrefetchTable::on_allocate`] returned
+/// [`PtDecision::NoPrefetch`] — a read-only diagnosis for per-site
+/// attribution ([`PrefetchTable::miss_kind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PtMissKind {
+    /// No trained entry for this PC (never seen, evicted, or allocated
+    /// but not yet retired once).
+    Cold,
+    /// The entry exists and is trained, but its confidence counter has
+    /// not saturated.
+    LowConfidence,
+    /// The entry is confident but no base address could be formed (the
+    /// Page Address Table pointer went stale).
+    NoAddress,
+}
+
 /// The Prefetch Table.
 ///
 /// # Examples
@@ -289,6 +305,31 @@ impl PrefetchTable {
         let predicted = base.offset(e.stride.wrapping_mul(e.inflight as i64));
         self.predictions += 1;
         PtDecision::Prefetch(predicted)
+    }
+
+    /// Diagnoses *why* the most recent [`PrefetchTable::on_allocate`]
+    /// for `pc` produced no prefetch. Read-only: no training, no LRU
+    /// touch, no RNG draw — safe to call (or skip) without perturbing
+    /// the simulation.
+    ///
+    /// Meaningful right after an `on_allocate(pc)` that returned
+    /// [`PtDecision::NoPrefetch`] (the entry it allocated or touched is
+    /// still resident); at other times it reports the entry's current
+    /// state on a best-effort basis.
+    pub fn miss_kind(&self, pc: Pc) -> PtMissKind {
+        let (set, tag) = self.locate(pc);
+        let Some(e) = self.sets[set].iter().find(|e| e.valid && e.tag == tag) else {
+            return PtMissKind::Cold;
+        };
+        if !e.has_addr {
+            return PtMissKind::Cold;
+        }
+        if e.confidence < self.max_confidence() {
+            return PtMissKind::LowConfidence;
+        }
+        // Confident and trained, yet no prefetch: the only remaining
+        // path in on_allocate is a failed PAT reconstruction.
+        PtMissKind::NoAddress
     }
 
     /// Called when a load retires with its actual `addr`. Trains stride,
@@ -545,6 +586,54 @@ mod tests {
         })
         .unwrap();
         assert!(full.storage().total_bits() as f64 / s.total_bits() as f64 > 1.6);
+    }
+
+    #[test]
+    fn miss_kind_diagnoses_each_no_prefetch_path() {
+        let mut pt = deterministic_pt(false);
+        let pc = Pc::new(0x400600);
+        assert_eq!(pt.miss_kind(pc), PtMissKind::Cold, "never seen");
+        // Allocated (on_allocate creates the tracking entry) but never
+        // retired: still cold.
+        assert_eq!(pt.on_allocate(pc), PtDecision::NoPrefetch);
+        assert_eq!(pt.miss_kind(pc), PtMissKind::Cold);
+        // One retirement trains the address but not the stride.
+        pt.on_retire(pc, Addr::new(0x8000));
+        assert_eq!(pt.on_allocate(pc), PtDecision::NoPrefetch);
+        assert_eq!(pt.miss_kind(pc), PtMissKind::LowConfidence);
+        pt.on_retire(pc, Addr::new(0x8008));
+        // Fully trained: predicts, so miss_kind no longer applies — but
+        // it must stay read-only (no state perturbation).
+        train_stride(&mut pt, pc, 0x9000, 8, 4);
+        let before = pt.on_allocate(pc);
+        let _ = pt.miss_kind(pc);
+        let after = pt.on_allocate(pc);
+        assert!(matches!(before, PtDecision::Prefetch(_)));
+        assert!(matches!(after, PtDecision::Prefetch(_)));
+        assert_ne!(before, after, "inflight extrapolation still advanced");
+    }
+
+    #[test]
+    fn miss_kind_reports_no_address_on_stale_pat() {
+        // Train through the PAT, then churn the PAT with other pages
+        // until the entry's pointer reconstructs to nothing (or a
+        // different page). If reconstruction fails outright,
+        // on_allocate declines and miss_kind says NoAddress.
+        let mut pt = deterministic_pt(true);
+        let pc = Pc::new(0x400700);
+        train_stride(&mut pt, pc, 0x4000_0000, 8, 4);
+        assert!(matches!(pt.on_allocate(pc), PtDecision::Prefetch(_)));
+        pt.on_retire(pc, Addr::new(0x4000_0020));
+        // Evict the page from the PAT by training many other PCs on
+        // distinct pages.
+        for i in 0..4096u64 {
+            let other = Pc::new(0x500000 + i * 4);
+            pt.on_allocate(other);
+            pt.on_retire(other, Addr::new(0x8000_0000 + i * 0x1000));
+        }
+        if pt.on_allocate(pc) == PtDecision::NoPrefetch {
+            assert_eq!(pt.miss_kind(pc), PtMissKind::NoAddress);
+        }
     }
 
     #[test]

@@ -27,8 +27,13 @@
 use std::fmt::Write as _;
 
 mod cpi;
+mod profile;
 
 pub use cpi::{CpiBucket, CpiReport, CpiStack, CPI_BUCKETS, CPI_INTERVALS, CPI_INTERVAL_SHIFT};
+pub use profile::{
+    ProfileReport, SiteProfile, PREDICT_MISS_KINDS, PREDICT_MISS_LABELS, PROFILE_DROP_LABELS,
+    PROFILE_DROP_REASONS,
+};
 pub use rfp_types::geomean;
 
 /// Host-side wall-clock measurement attached to a run.
@@ -485,6 +490,9 @@ pub struct SimReport {
     /// Cycle-accounting CPI stack, when the run was instrumented with a
     /// CPI sink (`None` for ordinary uninstrumented runs).
     pub cpi: Option<Box<CpiReport>>,
+    /// Per-load-PC attribution, when the run was instrumented with a
+    /// profile sink (`None` for ordinary uninstrumented runs).
+    pub profile: Option<Box<ProfileReport>>,
 }
 
 impl SimReport {
@@ -496,6 +504,7 @@ impl SimReport {
             stats,
             obs: None,
             cpi: None,
+            profile: None,
         }
     }
 
@@ -593,11 +602,15 @@ impl SimReport {
             out.push_str(" cpi=");
             out.push_str(&cpi.to_json());
         }
+        if let Some(profile) = &self.profile {
+            out.push_str(" profile=");
+            out.push_str(&profile.to_json());
+        }
         out
     }
 }
 
-fn ratio(num: u64, den: u64) -> f64 {
+pub(crate) fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0
     } else {
@@ -960,6 +973,19 @@ mod tests {
         assert_ne!(without, with);
         assert!(with.contains(" cpi={"));
         assert!(with.contains("\"retiring\":5"));
+    }
+
+    #[test]
+    fn canonical_text_includes_profile_when_present() {
+        let mut r = report(100, 450, 100, 43);
+        let without = r.canonical_text();
+        let mut p = ProfileReport::default();
+        p.site_mut(0x400100).useful_fully_hidden = 7;
+        r.profile = Some(Box::new(p));
+        let with = r.canonical_text();
+        assert_ne!(without, with);
+        assert!(with.contains(" profile={"));
+        assert!(with.contains("\"0x400100\""));
     }
 
     #[test]

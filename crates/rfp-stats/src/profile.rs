@@ -1,0 +1,411 @@
+//! Per-load-PC attribution aggregates — the data model behind
+//! `experiments profile`.
+//!
+//! A [`SiteProfile`] folds every prefetch-lifecycle outcome observed for
+//! one static load PC into counters: the useful/late/wrong/dropped
+//! terminal taxonomy, a lateness histogram for the late-useful class, a
+//! refined drop-reason funnel, predictor miss kinds, and the retire-slot
+//! stall attribution joined from the CPI-stack events. A
+//! [`ProfileReport`] is the per-run map from PC to site, ordered (and
+//! therefore serialized) deterministically.
+//!
+//! Everything is count-based and merges by plain addition, so per-shard
+//! reports from the work-stealing engine combine in any order — the same
+//! contract [`ObsMetrics`](crate::ObsMetrics) honours.
+
+use std::collections::BTreeMap;
+
+use crate::{ratio, Log2Histogram};
+
+/// Refined drop reasons tracked per site: the coarse 5-reason funnel
+/// plus `mshr-starve` (folds into `l1-miss`) and `no-port` (folds into
+/// `load-first`). Index = `rfp_obs::DropReason` discriminant.
+pub const PROFILE_DROP_REASONS: usize = 7;
+
+/// Labels for [`SiteProfile::drops`], index-aligned with
+/// `rfp_obs::DropReason` (asserted by a cross-crate test there).
+pub const PROFILE_DROP_LABELS: [&str; PROFILE_DROP_REASONS] = [
+    "load-first",
+    "tlb-miss",
+    "queue-full",
+    "l1-miss",
+    "squashed",
+    "mshr-starve",
+    "no-port",
+];
+
+/// Predictor miss kinds tracked per site. Index = `rfp_obs::PredictMiss`
+/// discriminant.
+pub const PREDICT_MISS_KINDS: usize = 3;
+
+/// Labels for [`SiteProfile::not_predicted`], index-aligned with
+/// `rfp_obs::PredictMiss`.
+pub const PREDICT_MISS_LABELS: [&str; PREDICT_MISS_KINDS] =
+    ["cold", "low-confidence", "no-address"];
+
+/// Everything the profiler knows about one static load PC.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SiteProfile {
+    /// Retiring load executions at this PC.
+    pub loads: u64,
+    /// Of those, loads *not* served by the L1 or store forwarding (the
+    /// misses whose latency a prefetch could have hidden).
+    pub misses: u64,
+    /// Prefetch packets injected for this PC (entered the RFP queue).
+    pub injected: u64,
+    /// Useful prefetches whose data was ready by load issue + 1.
+    pub useful_fully_hidden: u64,
+    /// Useful prefetches that arrived after load issue + 1.
+    pub useful_late: u64,
+    /// Executed prefetches whose predicted address was wrong.
+    pub wrong_addr: u64,
+    /// Loads that reached the prediction point but got no address, by
+    /// [`PREDICT_MISS_LABELS`] kind.
+    pub not_predicted: [u64; PREDICT_MISS_KINDS],
+    /// Dropped packets by refined reason ([`PROFILE_DROP_LABELS`]).
+    pub drops: [u64; PROFILE_DROP_REASONS],
+    /// For late-useful prefetches: cycles the load still waited on its
+    /// own prefetch (`rfp_complete - load_issue - 1`).
+    pub lateness: Log2Histogram,
+    /// Sum of RFP-queue wait cycles over executed prefetches.
+    pub queue_wait_sum: u64,
+    /// Executed prefetches contributing to `queue_wait_sum`.
+    pub queue_wait_n: u64,
+    /// Empty retire slots charged to a memory or rfp-late stall while a
+    /// load from this PC blocked the ROB head — the join against the
+    /// CPI-stack retire-slot attribution, and the ranking key for the
+    /// top-offenders table.
+    pub stall_slots: u64,
+}
+
+impl SiteProfile {
+    /// Useful prefetches (fully hidden + late).
+    pub fn useful(&self) -> u64 {
+        self.useful_fully_hidden + self.useful_late
+    }
+
+    /// Dropped packets that were *in* the funnel (all drops except
+    /// queue-full, which never incremented `injected`).
+    pub fn funnel_drops(&self) -> u64 {
+        self.drops.iter().sum::<u64>() - self.drops[2]
+    }
+
+    /// Sum of every terminal outcome of an injected packet. Equals
+    /// [`SiteProfile::injected`] on a warmup-free run (the per-site
+    /// analogue of `CoreStats::funnel_consistent`).
+    pub fn terminal_total(&self) -> u64 {
+        self.useful() + self.wrong_addr + self.funnel_drops()
+    }
+
+    /// Coverage at this site: useful prefetches over loads.
+    pub fn coverage(&self) -> f64 {
+        ratio(self.useful(), self.loads)
+    }
+
+    /// Fraction of useful prefetches that arrived late.
+    pub fn late_frac(&self) -> f64 {
+        ratio(self.useful_late, self.useful())
+    }
+
+    /// Mean cycles an executed prefetch waited in the RFP queue.
+    pub fn mean_queue_wait(&self) -> f64 {
+        ratio(self.queue_wait_sum, self.queue_wait_n)
+    }
+
+    /// The dominant reason this site's loads were not fully covered —
+    /// the "bottleneck" column of the offenders table. Deterministic:
+    /// ties break toward the earlier label in the fixed order below.
+    pub fn bottleneck(&self) -> &'static str {
+        let classes: [(&'static str, u64); 8] = [
+            ("covered", self.useful_fully_hidden),
+            ("late", self.useful_late),
+            (
+                "port-starvation",
+                self.drops[0] + self.drops[6] + self.drops[2],
+            ),
+            ("wrong-address", self.wrong_addr),
+            ("tlb-miss", self.drops[1]),
+            ("l1/mshr", self.drops[3] + self.drops[5]),
+            ("squashed", self.drops[4]),
+            ("not-predicted", self.not_predicted.iter().sum()),
+        ];
+        let mut best = ("inactive", 0u64);
+        for (label, count) in classes {
+            if count > best.1 {
+                best = (label, count);
+            }
+        }
+        best.0
+    }
+
+    /// Adds `other`'s counts into `self` (commutative and associative).
+    pub fn merge(&mut self, other: &SiteProfile) {
+        self.loads += other.loads;
+        self.misses += other.misses;
+        self.injected += other.injected;
+        self.useful_fully_hidden += other.useful_fully_hidden;
+        self.useful_late += other.useful_late;
+        self.wrong_addr += other.wrong_addr;
+        for (a, b) in self.not_predicted.iter_mut().zip(&other.not_predicted) {
+            *a += b;
+        }
+        for (a, b) in self.drops.iter_mut().zip(&other.drops) {
+            *a += b;
+        }
+        self.lateness.merge(&other.lateness);
+        self.queue_wait_sum += other.queue_wait_sum;
+        self.queue_wait_n += other.queue_wait_n;
+        self.stall_slots += other.stall_slots;
+    }
+
+    /// Hand-written JSON rendering (the workspace builds without serde).
+    pub fn to_json(&self) -> String {
+        let arr = |xs: &[u64]| {
+            let cells: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+            format!("[{}]", cells.join(","))
+        };
+        format!(
+            "{{\"loads\":{},\"misses\":{},\"injected\":{},\
+             \"useful_fully_hidden\":{},\"useful_late\":{},\"wrong_addr\":{},\
+             \"not_predicted\":{},\"drops\":{},\"lateness\":{},\
+             \"queue_wait_sum\":{},\"queue_wait_n\":{},\"stall_slots\":{}}}",
+            self.loads,
+            self.misses,
+            self.injected,
+            self.useful_fully_hidden,
+            self.useful_late,
+            self.wrong_addr,
+            arr(&self.not_predicted),
+            arr(&self.drops),
+            self.lateness.to_json(),
+            self.queue_wait_sum,
+            self.queue_wait_n,
+            self.stall_slots,
+        )
+    }
+}
+
+/// Per-run (or per-suite, after merging) map from load PC to its
+/// [`SiteProfile`].
+///
+/// A `BTreeMap` keyed by the raw PC keeps iteration — and therefore the
+/// JSON, the offenders table and the collapsed-stack output — in one
+/// deterministic order regardless of event arrival or merge order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProfileReport {
+    /// Per-PC aggregates, ordered by raw PC.
+    pub sites: BTreeMap<u64, SiteProfile>,
+}
+
+impl ProfileReport {
+    /// The (possibly new) site entry for `pc`.
+    pub fn site_mut(&mut self, pc: u64) -> &mut SiteProfile {
+        self.sites.entry(pc).or_default()
+    }
+
+    /// Number of distinct load PCs observed.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Sums every site into one grand-total profile (for the
+    /// reconciliation cross-checks against `CoreStats`/`ObsMetrics`).
+    pub fn totals(&self) -> SiteProfile {
+        let mut t = SiteProfile::default();
+        for s in self.sites.values() {
+            t.merge(s);
+        }
+        t
+    }
+
+    /// Merges `other`'s sites into `self` (commutative and associative,
+    /// hence merge-order-independent — the work-stealing engine relies
+    /// on this).
+    pub fn merge(&mut self, other: &ProfileReport) {
+        for (pc, s) in &other.sites {
+            self.site_mut(*pc).merge(s);
+        }
+    }
+
+    /// Sites ranked worst-first for the offenders table: by stall slots
+    /// charged, then misses, then PC (all descending except the PC
+    /// tie-break, which is ascending for determinism).
+    pub fn top_offenders(&self, n: usize) -> Vec<(u64, &SiteProfile)> {
+        let mut ranked: Vec<(u64, &SiteProfile)> =
+            self.sites.iter().map(|(pc, s)| (*pc, s)).collect();
+        ranked.sort_by(|a, b| {
+            b.1.stall_slots
+                .cmp(&a.1.stall_slots)
+                .then(b.1.misses.cmp(&a.1.misses))
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(n);
+        ranked
+    }
+
+    /// Hand-written JSON: one object per site keyed by hex PC, plus the
+    /// grand totals. Stable key order (BTreeMap).
+    pub fn to_json(&self) -> String {
+        let sites: Vec<String> = self
+            .sites
+            .iter()
+            .map(|(pc, s)| format!("\"{:#x}\":{}", pc, s.to_json()))
+            .collect();
+        format!(
+            "{{\"site_count\":{},\"totals\":{},\"sites\":{{{}}}}}",
+            self.sites.len(),
+            self.totals().to_json(),
+            sites.join(","),
+        )
+    }
+
+    /// Collapsed-stack rendering for flamegraph tooling: one
+    /// `pc;outcome count` line per nonzero terminal outcome, plus
+    /// `pc;miss-uncovered` for misses no prefetch even tried to cover.
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        for (pc, s) in &self.sites {
+            let mut line = |outcome: &str, count: u64| {
+                if count > 0 {
+                    out.push_str(&format!("{pc:#x};{outcome} {count}\n"));
+                }
+            };
+            line("useful-fully-hidden", s.useful_fully_hidden);
+            line("useful-late", s.useful_late);
+            line("wrong-address", s.wrong_addr);
+            for (label, &count) in PROFILE_DROP_LABELS.iter().zip(&s.drops) {
+                line(&format!("dropped-{label}"), count);
+            }
+            for (label, &count) in PREDICT_MISS_LABELS.iter().zip(&s.not_predicted) {
+                line(&format!("not-predicted-{label}"), count);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(loads: u64, ufh: u64, late: u64, drops: [u64; PROFILE_DROP_REASONS]) -> SiteProfile {
+        SiteProfile {
+            loads,
+            injected: ufh + late + drops.iter().sum::<u64>() - drops[2],
+            useful_fully_hidden: ufh,
+            useful_late: late,
+            drops,
+            ..SiteProfile::default()
+        }
+    }
+
+    #[test]
+    fn per_site_funnel_balances() {
+        let s = site(100, 40, 10, [3, 1, 7, 2, 1, 1, 2]);
+        // queue-full (index 2) never entered the funnel.
+        assert_eq!(s.funnel_drops(), 10);
+        assert_eq!(s.terminal_total(), 60);
+        assert_eq!(s.injected, 60);
+        assert!((s.coverage() - 0.5).abs() < 1e-12);
+        assert!((s.late_frac() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottleneck_is_deterministic_and_sensible() {
+        assert_eq!(SiteProfile::default().bottleneck(), "inactive");
+        let covered = site(10, 8, 1, [0; PROFILE_DROP_REASONS]);
+        assert_eq!(covered.bottleneck(), "covered");
+        let late = site(10, 1, 8, [0; PROFILE_DROP_REASONS]);
+        assert_eq!(late.bottleneck(), "late");
+        // no-port + load-first + queue-full pool into port starvation.
+        let ports = site(10, 1, 0, [3, 0, 2, 0, 0, 0, 3]);
+        assert_eq!(ports.bottleneck(), "port-starvation");
+        let mut cold = SiteProfile {
+            loads: 10,
+            ..SiteProfile::default()
+        };
+        cold.not_predicted[0] = 9;
+        assert_eq!(cold.bottleneck(), "not-predicted");
+        // Ties break toward the earlier class: covered beats late at 5-5.
+        let tie = site(10, 5, 5, [0; PROFILE_DROP_REASONS]);
+        assert_eq!(tie.bottleneck(), "covered");
+    }
+
+    #[test]
+    fn report_merge_is_order_independent() {
+        let mut a = ProfileReport::default();
+        a.site_mut(0x400100).loads = 5;
+        a.site_mut(0x400100).useful_fully_hidden = 2;
+        a.site_mut(0x400200).drops[6] = 3;
+        let mut b = ProfileReport::default();
+        b.site_mut(0x400100).useful_late = 1;
+        b.site_mut(0x400100).lateness.record(7);
+        b.site_mut(0x400300).stall_slots = 11;
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert_eq!(ab.collapsed(), ba.collapsed());
+        assert_eq!(ab.site_count(), 3);
+        let t = ab.totals();
+        assert_eq!(t.loads, 5);
+        assert_eq!(t.useful(), 3);
+        assert_eq!(t.stall_slots, 11);
+    }
+
+    #[test]
+    fn top_offenders_rank_by_stall_then_misses_then_pc() {
+        let mut r = ProfileReport::default();
+        r.site_mut(0x30).stall_slots = 5;
+        r.site_mut(0x20).stall_slots = 9;
+        r.site_mut(0x10).misses = 4; // zero stalls: ranked by misses next
+        r.site_mut(0x40).misses = 4; // tie with 0x10 -> lower pc first
+        let top: Vec<u64> = r.top_offenders(3).into_iter().map(|(pc, _)| pc).collect();
+        assert_eq!(top, vec![0x20, 0x30, 0x10]);
+    }
+
+    #[test]
+    fn json_and_collapsed_shapes() {
+        let mut r = ProfileReport::default();
+        let s = r.site_mut(0x401230);
+        s.loads = 10;
+        s.useful_fully_hidden = 3;
+        s.drops[6] = 2;
+        s.not_predicted[1] = 1;
+        let j = r.to_json();
+        assert!(j.contains("\"0x401230\""));
+        assert!(j.contains("\"site_count\":1"));
+        assert!(j.contains("\"totals\""));
+        let c = r.collapsed();
+        assert!(c.contains("0x401230;useful-fully-hidden 3\n"));
+        assert!(c.contains("0x401230;dropped-no-port 2\n"));
+        assert!(c.contains("0x401230;not-predicted-low-confidence 1\n"));
+        assert!(!c.contains("useful-late"), "zero outcomes are omitted");
+    }
+
+    #[test]
+    fn label_tables_match_their_array_widths() {
+        assert_eq!(PROFILE_DROP_LABELS.len(), PROFILE_DROP_REASONS);
+        assert_eq!(PREDICT_MISS_LABELS.len(), PREDICT_MISS_KINDS);
+        // The first DROP_REASONS labels are the coarse funnel order.
+        for (i, l) in PROFILE_DROP_LABELS
+            .iter()
+            .take(crate::DROP_REASONS)
+            .enumerate()
+        {
+            assert_eq!(
+                *l,
+                [
+                    "load-first",
+                    "tlb-miss",
+                    "queue-full",
+                    "l1-miss",
+                    "squashed"
+                ][i]
+            );
+        }
+    }
+}

@@ -12,6 +12,12 @@
 //! profile (JSON), `--trace-out DIR` (with `--trace-workload W`,
 //! default `spec17_mcf`) writes a Perfetto pipeline trace, and
 //! `--telemetry-out FILE` writes per-job engine telemetry (JSONL).
+//!
+//! Env: `RFP_TRACE_LEN=<uops>`, `RFP_THREADS=<n>`,
+//! `RFP_WARM_MODE=off|exact|checkpoint` and `RFP_SIM_MODE=full|sample`
+//! (phase-sampled simulation — approximate, see `experiments
+//! sampling-error`). All are strictly parsed: a malformed value exits 2
+//! instead of silently falling back to the default.
 
 use rfp_bench::{
     default_threads, metrics_reports_json, profile_reports_json, run_grid_full, telemetry_jsonl,

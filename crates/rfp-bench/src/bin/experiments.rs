@@ -13,7 +13,13 @@
 //! the default is the machine's available parallelism. `RFP_WARM_MODE`
 //! (`off` | `exact` | `checkpoint`, default `exact`) controls warm-state
 //! sharing across the grid; `off` and `exact` are byte-identical. Output
-//! is byte-identical at any thread count.
+//! is byte-identical at any thread count. `RFP_SIM_MODE` (`full` | `sample`,
+//! default `full`) switches on phase-sampled simulation: intervals are
+//! clustered by basic-block vector, one representative per phase is
+//! simulated, and per-phase integer weights extrapolate the rest. Sampled
+//! output is also byte-identical at any thread count, but is an
+//! approximation of full-fidelity output; `experiments sampling-error`
+//! quantifies the gap.
 //!
 //! Observability outputs (all side files; stdout stays byte-identical):
 //!
@@ -30,16 +36,26 @@
 //!   (`pc;outcome count` lines) for flamegraph tooling.
 //! - `--telemetry-out <file>`: write per-job engine telemetry (JSONL):
 //!   worker, queue depth at grab time, wall nanos.
+//! - `--sampling-report <file>`: write per-workload IPC / coverage /
+//!   cycles / CPI-bucket summaries (JSON) for the RFP config. Produce one
+//!   under `RFP_SIM_MODE=full` and one under `=sample`, then feed both to
+//!   `diff` or `sampling-error`.
 //!
-//! Regression sentinel: `experiments diff <baseline.json> <candidate.json>`
-//! compares two `--metrics-out` (or `--profile-out`) documents leaf by
-//! leaf under the tolerances embedded in the baseline, printing a
-//! violations table. Exit code 0 = within tolerance, 1 = regression,
-//! 2 = bad input.
+//! Regression sentinel: `experiments diff [--tolerances FILE]
+//! <baseline.json> <candidate.json>` compares two `--metrics-out` (or
+//! `--profile-out`, or `--sampling-report`) documents leaf by leaf under
+//! the tolerances embedded in the baseline, optionally extended/overridden
+//! by a standalone tolerances file, printing a violations table. Exit code
+//! 0 = within tolerance, 1 = regression, 2 = bad input.
+//!
+//! `experiments sampling-error <full.json> <sampled.json>` condenses two
+//! `--sampling-report` documents into per-metric p50/p95/max relative
+//! error bounds (JSON on stdout) using the same relative-error formula as
+//! `diff`, so the report predicts the gate outcome.
 
 use rfp_bench::{
-    default_threads, diff_metrics, telemetry_jsonl, trace_len_from_env, trace_workload_json,
-    Harness, DEFAULT_TRACE_LEN,
+    default_threads, diff_metrics_with, sampling_error_report_json, telemetry_jsonl,
+    trace_len_from_env, trace_workload_json, Harness, DEFAULT_TRACE_LEN,
 };
 use rfp_core::{CoreConfig, OracleMode};
 
@@ -74,16 +90,19 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // The sentinel subcommand is pure file comparison — dispatch before
-    // any simulation setup.
+    // The sentinel subcommands are pure file comparison — dispatch
+    // before any simulation setup.
     if args.first().map(String::as_str) == Some("diff") {
+        let tolerances = take_flag(&mut args, "--tolerances").map(|p| read_or_die(&p));
         if args.len() != 3 {
-            eprintln!("usage: experiments diff <baseline.json> <candidate.json>");
+            eprintln!(
+                "usage: experiments diff [--tolerances FILE] <baseline.json> <candidate.json>"
+            );
             std::process::exit(2);
         }
         let baseline = read_or_die(&args[1]);
         let candidate = read_or_die(&args[2]);
-        match diff_metrics(&baseline, &candidate) {
+        match diff_metrics_with(&baseline, &candidate, tolerances.as_deref()) {
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(2);
@@ -91,6 +110,24 @@ fn main() {
             Ok(out) => {
                 println!("{}", out.render());
                 std::process::exit(if out.clean() { 0 } else { 1 });
+            }
+        }
+    }
+    if args.first().map(String::as_str) == Some("sampling-error") {
+        if args.len() != 3 {
+            eprintln!("usage: experiments sampling-error <full.json> <sampled.json>");
+            std::process::exit(2);
+        }
+        let full = read_or_die(&args[1]);
+        let sampled = read_or_die(&args[2]);
+        match sampling_error_report_json(&full, &sampled) {
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+            Ok(report) => {
+                print!("{report}");
+                std::process::exit(0);
             }
         }
     }
@@ -111,19 +148,24 @@ fn main() {
     let profile_out = take_flag(&mut args, "--profile-out");
     let collapsed_out = take_flag(&mut args, "--collapsed-out");
     let telemetry_out = take_flag(&mut args, "--telemetry-out");
+    let sampling_out = take_flag(&mut args, "--sampling-report");
     let side_outputs = trace_out.is_some()
         || metrics_out.is_some()
         || profile_out.is_some()
         || collapsed_out.is_some()
-        || telemetry_out.is_some();
+        || telemetry_out.is_some()
+        || sampling_out.is_some();
     if (args.is_empty() && !side_outputs) || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: experiments [--threads N] [--trace-out DIR] [--trace-workload W] \
              [--metrics-out FILE] [--profile-out FILE] [--collapsed-out FILE] \
-             [--telemetry-out FILE] <id>... | all\n  ids: {}\n  \
+             [--telemetry-out FILE] [--sampling-report FILE] <id>... | all\n  ids: {}\n  \
              extras (not in `all`): timeliness cpi profile\n  \
-             regression sentinel: experiments diff <baseline.json> <candidate.json>\n  \
-             env: RFP_TRACE_LEN=<uops> (default {DEFAULT_TRACE_LEN}), RFP_THREADS=<n>",
+             regression sentinel: experiments diff [--tolerances FILE] \
+             <baseline.json> <candidate.json>\n  \
+             sampling error bounds: experiments sampling-error <full.json> <sampled.json>\n  \
+             env: RFP_TRACE_LEN=<uops> (default {DEFAULT_TRACE_LEN}), RFP_THREADS=<n>, \
+             RFP_WARM_MODE=off|exact|checkpoint, RFP_SIM_MODE=full|sample",
             Harness::ALL_IDS.join(" ")
         );
         std::process::exit(if args.is_empty() && !side_outputs {
@@ -161,6 +203,7 @@ fn main() {
     if metrics_out.is_some()
         || profile_out.is_some()
         || collapsed_out.is_some()
+        || sampling_out.is_some()
         || ids.contains(&"profile")
         || ids.contains(&"timeliness")
     {
@@ -199,6 +242,10 @@ fn main() {
     if let Some(file) = &collapsed_out {
         write_or_die(file, &h.profile_collapsed(&rfp_cfg));
         eprintln!("wrote collapsed stacks to {file} (feed to flamegraph.pl)");
+    }
+    if let Some(file) = &sampling_out {
+        write_or_die(file, &h.sampling_json(&rfp_cfg));
+        eprintln!("wrote per-workload sampling summary to {file}");
     }
     if let Some(dir) = &trace_out {
         let w = rfp_trace::by_name(&trace_workload).unwrap_or_else(|| {

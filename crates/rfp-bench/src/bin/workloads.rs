@@ -13,6 +13,12 @@
 //! FILE` writes its latency histograms as JSON and `--profile-out FILE`
 //! its per-load-PC attribution profile. The stdout description is
 //! unchanged.
+//!
+//! Env (strictly parsed, malformed values exit 2): `RFP_TRACE_LEN=<uops>`
+//! and `RFP_SIM_MODE=full|sample`. The single-workload observability path
+//! here is always full-fidelity, but a malformed `RFP_SIM_MODE` still
+//! fails fast so scripts that export it for a whole pipeline can't half
+//! work.
 
 use rfp_stats::TextTable;
 use rfp_trace::{AddrPattern, StaticKind, WorkingSetClass, Workload};
@@ -125,6 +131,11 @@ fn observe(
 fn main() {
     // Accept `--threads N` for CLI symmetry with the other bins; this
     // tool only prints static suite metadata, so it's a documented no-op.
+    // Validate `RFP_SIM_MODE` even though the single-workload trace path
+    // is always full-fidelity: a malformed value exits 2 here exactly as
+    // it would in `experiments`/`calibrate`, so a typo'd export fails the
+    // whole pipeline at its first command instead of half-applying.
+    let _ = rfp_bench::SimMode::from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         args.drain(i..(i + 2).min(args.len()));

@@ -359,13 +359,58 @@ fn tol_for(path: &str, tolerances: &[(String, f64)]) -> f64 {
     best.map_or(default, |(_, t)| t)
 }
 
+/// Parses a standalone tolerances document — either a bare
+/// `{pattern: tol}` object or one wrapping it in a top-level
+/// `"tolerances"` member (so a refreshed baseline also works as an
+/// overlay). Non-numeric entries are skipped.
+fn parse_tolerances_doc(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc = parse_json(text).map_err(|e| format!("tolerances: {e}"))?;
+    let Json::Obj(members) = doc else {
+        return Err("tolerances: document must be a JSON object".to_string());
+    };
+    let entries = match members.iter().find(|(k, _)| k == "tolerances") {
+        Some((_, Json::Obj(inner))) => inner.clone(),
+        _ => members,
+    };
+    Ok(entries
+        .into_iter()
+        .filter_map(|(k, v)| match v {
+            Json::Num(t) => Some((k, t)),
+            _ => None,
+        })
+        .collect())
+}
+
 /// Diffs a candidate metrics document against a baseline carrying its
 /// own tolerances (see the module docs). Returns `Err` only when a
 /// document fails to parse; regressions come back as violations.
 pub fn diff_metrics(baseline_text: &str, candidate_text: &str) -> Result<DiffOutcome, String> {
+    diff_metrics_with(baseline_text, candidate_text, None)
+}
+
+/// [`diff_metrics`] with an optional external tolerances overlay
+/// (`experiments diff --tolerances FILE`): the overlay's entries are
+/// appended after the baseline's embedded ones, so on equal pattern
+/// length — including `"default"` — the overlay wins. This is how the
+/// sampling accuracy gate reuses a full-fidelity baseline generated with
+/// zero embedded tolerance: `baselines/sampling_tolerances.json` relaxes
+/// exactly the metrics the sampler extrapolates.
+///
+/// # Errors
+///
+/// Returns `Err` only when a document fails to parse; regressions come
+/// back as violations.
+pub fn diff_metrics_with(
+    baseline_text: &str,
+    candidate_text: &str,
+    overlay_text: Option<&str>,
+) -> Result<DiffOutcome, String> {
     let baseline = parse_json(baseline_text).map_err(|e| format!("baseline: {e}"))?;
     let candidate = parse_json(candidate_text).map_err(|e| format!("candidate: {e}"))?;
-    let (baseline, tolerances) = split_tolerances(baseline);
+    let (baseline, mut tolerances) = split_tolerances(baseline);
+    if let Some(text) = overlay_text {
+        tolerances.extend(parse_tolerances_doc(text)?);
+    }
     // A candidate generated with `--metrics-out` carries no tolerances,
     // but a refreshed baseline re-used as candidate does; strip both.
     let (candidate, _) = split_tolerances(candidate);
@@ -494,6 +539,29 @@ mod tests {
         assert_eq!(tol_for("aggregate.total", &tols), 0.25);
         assert_eq!(tol_for("aggregate.hist[0]", &tols), -1.0);
         assert_eq!(tol_for("len", &tols), 0.0);
+    }
+
+    #[test]
+    fn overlay_tolerances_extend_and_override_the_baseline() {
+        // total 6 -> 10 is rel 0.67: over the embedded 0.5 tolerance...
+        let new = BASE.replace("\"total\": 6", "\"total\": 10");
+        assert!(!diff_metrics(BASE, &new).unwrap().clean());
+        // ...but a bare-object overlay can relax it.
+        let overlay = r#"{"aggregate.total": 0.8}"#;
+        assert!(diff_metrics_with(BASE, &new, Some(overlay))
+            .unwrap()
+            .clean());
+        // The wrapped form works too, and an equal-length pattern from
+        // the overlay overrides the embedded one (6 -> 8 is rel 0.33,
+        // inside the embedded 0.5 but outside the overlay's 0.1).
+        let mild = BASE.replace("\"total\": 6", "\"total\": 8");
+        assert!(diff_metrics(BASE, &mild).unwrap().clean());
+        let wrapped = r#"{"tolerances": {"aggregate.total": 0.1}}"#;
+        assert!(!diff_metrics_with(BASE, &mild, Some(wrapped))
+            .unwrap()
+            .clean());
+        // A malformed overlay is a usage error, not a pass.
+        assert!(diff_metrics_with(BASE, &mild, Some("[1]")).is_err());
     }
 
     #[test]

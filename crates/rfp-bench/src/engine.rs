@@ -24,8 +24,8 @@ use rfp_core::{
     warm_up_workload, CoreConfig, VpMode, WarmState,
 };
 use rfp_obs::{CpiStackSink, MetricsSink, ProfileSink, TeeProbe};
-use rfp_stats::SimReport;
-use rfp_trace::{MicroOp, Workload};
+use rfp_stats::{CoreStats, CpiReport, ObsMetrics, ProfileReport, SimReport, CPI_INTERVAL_SHIFT};
+use rfp_trace::{CompiledTrace, MicroOp, Workload};
 use rfp_types::json_escape;
 
 /// Reads environment variable `name` and parses it as `T`.
@@ -146,6 +146,128 @@ impl WarmMode {
     }
 }
 
+/// Simulation fidelity for grid jobs (`RFP_SIM_MODE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// Simulate every job's full measured region. The accuracy
+    /// reference, and the default.
+    #[default]
+    Full,
+    /// Phase-sampled simulation: cluster each workload's interval BBVs
+    /// (computed by the trace compiler), simulate one representative
+    /// interval per phase plus the ragged tail, and extrapolate every
+    /// counter by integer phase weights. Several times faster than
+    /// `Full`; per-metric error bounds are committed in
+    /// `baselines/sampling_tolerances.json` and enforced by CI.
+    Sample,
+}
+
+impl std::str::FromStr for SimMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "" | "full" => Ok(SimMode::Full),
+            "sample" => Ok(SimMode::Sample),
+            other => Err(format!("expected full or sample, got {other:?}")),
+        }
+    }
+}
+
+impl SimMode {
+    /// Parses `RFP_SIM_MODE` strictly ([`env_parsed`]; `full` | `sample`);
+    /// unset means [`SimMode::Full`].
+    pub fn from_env() -> Self {
+        env_parsed::<SimMode>("RFP_SIM_MODE").unwrap_or_default()
+    }
+}
+
+/// Interval size of the sampler's BBV grid, in micro-ops. Deliberately
+/// equal to the CPI-stack epoch size, so a phase member's interval index
+/// doubles as its CPI epoch during extrapolation.
+pub const SAMPLE_INTERVAL_UOPS: u64 = 1 << CPI_INTERVAL_SHIFT;
+
+/// Detailed-warming prefix re-simulated in front of every sampled
+/// window: the ops immediately before a representative interval rebuild
+/// the short-lived state (ROB contents, queue occupancy, MSHR fill) that
+/// the long-lived warm snapshot cannot carry across the jump.
+pub const SAMPLE_WARM_PREFIX: u64 = 2048;
+
+/// One phase of a [`SamplePlan`]: a cluster of behaviourally-equivalent
+/// intervals and the representative simulated on their behalf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamplePhase {
+    /// Interval index of the representative (the cluster medoid, ties
+    /// broken toward the lowest index).
+    pub rep: usize,
+    /// Member interval indices, ascending (`rep` included).
+    pub members: Vec<usize>,
+}
+
+/// A workload's phase-sampling plan: which intervals to simulate and the
+/// integer weight each result is extrapolated by.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamplePlan {
+    /// Phases in discovery order (ascending first-member index).
+    pub phases: Vec<SamplePhase>,
+    /// Measured ops past the interval grid, simulated exactly with
+    /// weight 1.
+    pub tail: u64,
+}
+
+impl SamplePlan {
+    /// Measured uops the plan actually simulates (one interval per phase
+    /// plus the tail) — the numerator of the sampler's speedup estimate.
+    pub fn simulated_uops(&self, interval_len: u64) -> u64 {
+        self.phases.len() as u64 * interval_len + self.tail
+    }
+}
+
+/// Clusters `trace`'s interval BBV signatures into phases.
+///
+/// Deterministic greedy leader clustering: intervals join the first
+/// existing phase whose *leader* (first member) is within an L1 distance
+/// of `interval_len / 16` op counts, else found a new phase. After
+/// grouping, each phase's representative is re-picked as the medoid —
+/// the member minimizing total L1 distance to the rest — so an atypical
+/// leader doesn't get extrapolated across the whole cluster. No RNG, no
+/// floating point: the plan is a pure function of the trace.
+pub fn build_sample_plan(trace: &CompiledTrace) -> SamplePlan {
+    let sigs = trace.intervals();
+    let threshold = trace.interval_len() / 16;
+    let mut phases: Vec<SamplePhase> = Vec::new();
+    for (i, sig) in sigs.iter().enumerate() {
+        match phases
+            .iter_mut()
+            .find(|p| sigs[p.members[0]].l1_distance(sig) <= threshold)
+        {
+            Some(p) => p.members.push(i),
+            None => phases.push(SamplePhase {
+                rep: i,
+                members: vec![i],
+            }),
+        }
+    }
+    for p in &mut phases {
+        let mut best = (u64::MAX, usize::MAX);
+        for &a in &p.members {
+            let d: u64 = p
+                .members
+                .iter()
+                .map(|&b| sigs[a].l1_distance(&sigs[b]))
+                .sum();
+            if (d, a) < best {
+                best = (d, a);
+            }
+        }
+        p.rep = best.1;
+    }
+    SamplePlan {
+        phases,
+        tail: trace.tail_len(),
+    }
+}
+
 /// The *warmup-relevant projection* of a configuration: `cfg` with every
 /// field that provably cannot influence warm-state construction
 /// normalized to a canonical value.
@@ -253,12 +375,14 @@ impl WarmPoolStats {
 /// observability passes fork the same snapshots the plain sweep built.
 pub struct WarmPool {
     mode: WarmMode,
+    sim: SimMode,
     /// Measured uops per run (the grid's `len`).
     measured: u64,
     /// Warmup uops per run (`len / 2`, matching `simulate_workload`).
     warmup: u64,
     pinned: Mutex<HashSet<u64>>,
-    traces: Mutex<HashMap<usize, Arc<Vec<MicroOp>>>>,
+    traces: Mutex<HashMap<usize, Arc<CompiledTrace>>>,
+    plans: Mutex<HashMap<usize, Arc<SamplePlan>>>,
     #[allow(clippy::type_complexity)]
     snapshots: Mutex<HashMap<(u64, usize), Arc<OnceLock<Arc<WarmState>>>>>,
     snapshot_hits: AtomicU64,
@@ -279,14 +403,24 @@ impl std::fmt::Debug for WarmPool {
 
 impl WarmPool {
     /// A pool for grids measuring `len` uops per job, sharing warm state
-    /// according to `mode`.
+    /// according to `mode`, at full simulation fidelity.
     pub fn new(mode: WarmMode, len: u64) -> Self {
+        Self::with_sim(mode, SimMode::Full, len)
+    }
+
+    /// [`WarmPool::new`] with an explicit simulation fidelity. Under
+    /// [`SimMode::Sample`] the warm mode is ignored by grid jobs — the
+    /// sampler always snapshots under the config's [`warm_twin`] and
+    /// jumps between representative intervals from there.
+    pub fn with_sim(mode: WarmMode, sim: SimMode, len: u64) -> Self {
         WarmPool {
             mode,
+            sim,
             measured: len,
             warmup: len / 2,
             pinned: Mutex::new(HashSet::new()),
             traces: Mutex::new(HashMap::new()),
+            plans: Mutex::new(HashMap::new()),
             snapshots: Mutex::new(HashMap::new()),
             snapshot_hits: AtomicU64::new(0),
             snapshot_misses: AtomicU64::new(0),
@@ -295,14 +429,20 @@ impl WarmPool {
         }
     }
 
-    /// [`WarmPool::new`] with the mode taken from `RFP_WARM_MODE`.
+    /// [`WarmPool::with_sim`] with both modes taken from the environment
+    /// (`RFP_WARM_MODE`, `RFP_SIM_MODE`).
     pub fn from_env(len: u64) -> Self {
-        Self::new(WarmMode::from_env(), len)
+        Self::with_sim(WarmMode::from_env(), SimMode::from_env(), len)
     }
 
     /// The pool's sharing mode.
     pub fn mode(&self) -> WarmMode {
         self.mode
+    }
+
+    /// The pool's simulation fidelity.
+    pub fn sim(&self) -> SimMode {
+        self.sim
     }
 
     /// Measured uops per job this pool was sized for.
@@ -317,7 +457,7 @@ impl WarmPool {
     pub fn pin_config(&self, cfg: &CoreConfig) {
         let mut pinned = self.pinned.lock().expect("pinned lock");
         pinned.insert(warm_key(cfg));
-        if self.mode == WarmMode::Checkpoint {
+        if self.mode == WarmMode::Checkpoint || self.sim == SimMode::Sample {
             pinned.insert(config_key(&warm_twin(cfg)));
         }
     }
@@ -341,19 +481,40 @@ impl WarmPool {
         }
     }
 
-    /// The memoized full trace (warmup + measured) for `suite[wi]`,
-    /// synthesized on first touch.
-    fn trace(&self, suite: &[Workload], wi: usize) -> Arc<Vec<MicroOp>> {
+    /// The memoized compiled trace (warmup + measured, with interval BBV
+    /// signatures over the measured region) for `suite[wi]`, built on
+    /// first touch. The compiled op stream is byte-identical to the
+    /// generator's, so full-fidelity jobs slice it directly.
+    fn trace(&self, suite: &[Workload], wi: usize) -> Arc<CompiledTrace> {
         let mut traces = self.traces.lock().expect("trace lock");
         if let Some(t) = traces.get(&wi) {
             return Arc::clone(t);
         }
-        // Built while holding the lock: synthesis is ~1% of a job's
+        // Built while holding the lock: compilation is ~1% of a job's
         // simulation time, and building once beats racing builds.
         self.trace_builds.fetch_add(1, Ordering::Relaxed);
-        let t = Arc::new(suite[wi].trace_vec(self.measured + self.warmup));
+        let t = Arc::new(suite[wi].compiled(
+            self.measured + self.warmup,
+            self.warmup,
+            SAMPLE_INTERVAL_UOPS,
+        ));
         traces.insert(wi, Arc::clone(&t));
         t
+    }
+
+    /// The memoized [`SamplePlan`] for `suite[wi]`, clustered on first
+    /// touch from the compiled trace's BBV grid.
+    fn sample_plan(&self, suite: &[Workload], wi: usize) -> Arc<SamplePlan> {
+        if let Some(p) = self.plans.lock().expect("plan lock").get(&wi) {
+            return Arc::clone(p);
+        }
+        let trace = self.trace(suite, wi);
+        let mut plans = self.plans.lock().expect("plan lock");
+        Arc::clone(
+            plans
+                .entry(wi)
+                .or_insert_with(|| Arc::new(build_sample_plan(&trace))),
+        )
     }
 
     /// The shared snapshot for `(key, wi)`, warming `cfg` on first touch.
@@ -376,7 +537,7 @@ impl WarmPool {
             self.snapshot_misses.fetch_add(1, Ordering::Relaxed);
             let trace = self.trace(suite, wi);
             Arc::new(
-                warm_up_workload(cfg, &suite[wi], self.warmup, trace.iter().copied())
+                warm_up_workload(cfg, &suite[wi], self.warmup, trace.ops().iter().copied())
                     .expect("valid config"),
             )
         });
@@ -396,6 +557,7 @@ impl WarmPool {
         drop(snaps);
         drop(pinned);
         self.traces.lock().expect("trace lock").remove(&wi);
+        self.plans.lock().expect("plan lock").remove(&wi);
     }
 }
 
@@ -403,8 +565,8 @@ impl WarmPool {
 struct JobPlan {
     /// [`warm_key`] of the config.
     exact: u64,
-    /// Checkpoint mode only: the twin's key and (projected) config, when
-    /// the config is *not* its own twin.
+    /// Checkpoint or sampled runs only: the twin's key and (projected)
+    /// config, when the config is *not* its own twin.
     twin: Option<(u64, CoreConfig)>,
     /// Whether a snapshot is worth building: its sharing key occurs at
     /// least twice in the grid, or is pinned.
@@ -417,7 +579,7 @@ fn plan_jobs(pool: &WarmPool, configs: &[CoreConfig]) -> Vec<JobPlan> {
         .iter()
         .map(|cfg| {
             let exact = warm_key(cfg);
-            let twin = if pool.mode == WarmMode::Checkpoint {
+            let twin = if pool.mode == WarmMode::Checkpoint || pool.sim == SimMode::Sample {
                 let twin_cfg = warm_twin(cfg);
                 let twin_key = config_key(&twin_cfg);
                 (twin_key != exact).then_some((twin_key, twin_cfg))
@@ -458,6 +620,9 @@ fn pooled_job(
     wi: usize,
     collect_obs: bool,
 ) -> (SimReport, &'static str) {
+    if pool.sim == SimMode::Sample {
+        return sampled_job(pool, cfg, plan, suite, wi, collect_obs);
+    }
     let w = &suite[wi];
     let attach = |stats, sink: Option<ObsSinks>| {
         let mut r = report_for(w, stats);
@@ -484,7 +649,7 @@ fn pooled_job(
                 cfg,
                 w,
                 pool.warmup,
-                trace.iter().copied(),
+                trace.ops().iter().copied(),
                 obs_sinks(),
             )
             .expect("valid config");
@@ -495,7 +660,7 @@ fn pooled_job(
                 cfg,
                 w,
                 pool.warmup,
-                trace.iter().copied(),
+                trace.ops().iter().copied(),
                 rfp_obs::NoopProbe,
             )
             .expect("valid config")
@@ -507,7 +672,7 @@ fn pooled_job(
         None => {
             let snap = pool.snapshot(cfg, plan.exact, suite, wi);
             let trace = pool.trace(suite, wi);
-            let rest = trace[snap.consumed_uops() as usize..].iter().copied();
+            let rest = trace.ops()[snap.consumed_uops() as usize..].iter().copied();
             let report = if collect_obs {
                 let (stats, sink) = snap.resume_probed(rest, obs_sinks());
                 attach(stats, Some(sink))
@@ -520,7 +685,7 @@ fn pooled_job(
             let snap = pool.snapshot(twin_cfg, *twin_key, suite, wi);
             pool.transplants.fetch_add(1, Ordering::Relaxed);
             let trace = pool.trace(suite, wi);
-            let measured = trace[pool.warmup as usize..].iter().copied();
+            let measured = trace.ops()[pool.warmup as usize..].iter().copied();
             let report = if collect_obs {
                 let (stats, sink) = snap
                     .transplant_probed(cfg, measured, obs_sinks())
@@ -532,6 +697,143 @@ fn pooled_job(
             (report, "transplant")
         }
     }
+}
+
+/// Simulates one sampled window: up to [`SAMPLE_WARM_PREFIX`] ops of
+/// detailed warming before `start`, then `mlen` measured ops, riding the
+/// shared twin snapshot. When `cfg` *is* its own twin the fork resumes
+/// exactly; otherwise the snapshot's caches and predictors are
+/// transplanted into a fresh `cfg` core first.
+fn window_run<Q: rfp_obs::Probe>(
+    snap: &WarmState,
+    cfg: &CoreConfig,
+    own_twin: bool,
+    ops: &[MicroOp],
+    start: u64,
+    mlen: u64,
+    probe: Q,
+) -> (CoreStats, Q) {
+    let prefix = SAMPLE_WARM_PREFIX.min(start);
+    let window = ops[(start - prefix) as usize..(start + mlen) as usize]
+        .iter()
+        .copied();
+    if own_twin {
+        snap.resume_window_probed(window, prefix, probe)
+    } else {
+        snap.transplant_window_probed(cfg, window, prefix, probe)
+            .expect("valid config")
+    }
+}
+
+/// Runs one `(config, workload)` job in [`SimMode::Sample`].
+///
+/// One warm snapshot per workload (under the config's [`warm_twin`], so
+/// every config in the sweep shares it), then one simulated window per
+/// phase representative plus the exactly-simulated ragged tail. Every
+/// counter is extrapolated by integer phase weights
+/// ([`CoreStats::merge_scaled`]), which preserves the simulator's linear
+/// invariants — funnel balance, profile reconciliation, CPI conservation
+/// — exactly; the representative's CPI stack is placed at each member's
+/// epoch so interval time-series keep their shape. Host wall time is
+/// summed unscaled (it measures real work done). With fewer than two
+/// full intervals sampling cannot skip anything, so the job runs the
+/// whole measured region straight from the compiled arena
+/// (`"sample-full"`), which is bit-equal to full fidelity.
+fn sampled_job(
+    pool: &WarmPool,
+    cfg: &CoreConfig,
+    plan: &JobPlan,
+    suite: &[Workload],
+    wi: usize,
+    collect_obs: bool,
+) -> (SimReport, &'static str) {
+    let w = &suite[wi];
+    let compiled = pool.trace(suite, wi);
+    if compiled.intervals().len() < 2 {
+        let report = if collect_obs {
+            let (mut r, sink) = simulate_workload_probed_from_trace(
+                cfg,
+                w,
+                pool.warmup,
+                compiled.ops().iter().copied(),
+                obs_sinks(),
+            )
+            .expect("valid config");
+            attach_obs(&mut r, sink);
+            r
+        } else {
+            simulate_workload_probed_from_trace(
+                cfg,
+                w,
+                pool.warmup,
+                compiled.ops().iter().copied(),
+                rfp_obs::NoopProbe,
+            )
+            .expect("valid config")
+            .0
+        };
+        return (report, "sample-full");
+    }
+    let splan = pool.sample_plan(suite, wi);
+    let (key, warm_cfg, own_twin) = match &plan.twin {
+        None => (plan.exact, cfg, true),
+        Some((k, c)) => (*k, c, false),
+    };
+    let snap = pool.snapshot(warm_cfg, key, suite, wi);
+    // Windows to simulate: `(start, measured len, member epochs)`. The
+    // weight of a window is its member count; members double as CPI
+    // epoch indices because the interval size equals the epoch size.
+    let interval = compiled.interval_len();
+    let n_full = compiled.intervals().len();
+    let mut windows: Vec<(u64, u64, &[usize])> = splan
+        .phases
+        .iter()
+        .map(|p| (compiled.intervals()[p.rep].start, interval, &p.members[..]))
+        .collect();
+    let tail_epoch = [n_full];
+    if splan.tail > 0 {
+        let tail_start = compiled.measured_from() + n_full as u64 * interval;
+        windows.push((tail_start, splan.tail, &tail_epoch[..]));
+    }
+    if !own_twin {
+        pool.transplants
+            .fetch_add(windows.len() as u64, Ordering::Relaxed);
+    }
+    let ops = compiled.ops();
+    let mut stats = CoreStats::default();
+    let report = if collect_obs {
+        let mut obs = ObsMetrics::default();
+        let mut cpi = CpiReport::default();
+        let mut profile = ProfileReport::default();
+        for &(start, mlen, epochs) in &windows {
+            let (s, sink) = window_run(&snap, cfg, own_twin, ops, start, mlen, obs_sinks());
+            let weight = epochs.len() as u64;
+            stats.merge_scaled(&s, weight);
+            obs.merge_scaled(&sink.a.a.into_metrics(), weight);
+            let c = sink.a.b.into_report();
+            for &e in epochs {
+                cpi.merge_scaled_at(&c, 1, e);
+            }
+            profile.merge_scaled(&sink.b.into_report(), weight);
+        }
+        let mut r = report_for(w, stats);
+        r.obs = Some(Box::new(obs));
+        r.cpi = Some(Box::new(cpi));
+        r.profile = Some(Box::new(profile));
+        r
+    } else {
+        for &(start, mlen, epochs) in &windows {
+            let (s, _) = window_run(&snap, cfg, own_twin, ops, start, mlen, rfp_obs::NoopProbe);
+            stats.merge_scaled(&s, epochs.len() as u64);
+        }
+        report_for(w, stats)
+    };
+    let warm = if own_twin {
+        "sample-fork"
+    } else {
+        "sample-transplant"
+    };
+    (report, warm)
 }
 
 /// The sink trio every instrumented grid job carries: latency metrics,
@@ -579,7 +881,10 @@ pub struct JobTelemetry {
     pub wall_nanos: u64,
     /// Warm path that served the job: `"off"` (legacy, pool disabled),
     /// `"straight"` (memoized trace, own warmup), `"fork"` (resumed a
-    /// shared snapshot), or `"transplant"` (checkpoint-mode twin).
+    /// shared snapshot), or `"transplant"` (checkpoint-mode twin). Under
+    /// [`SimMode::Sample`]: `"sample-fork"` / `"sample-transplant"`
+    /// (phase-sampled windows off the twin snapshot) or `"sample-full"`
+    /// (degenerate short run, simulated in full).
     pub warm: &'static str,
 }
 
@@ -700,7 +1005,7 @@ pub fn run_grid_pooled(
                         let t0 = Instant::now();
                         let (report, warm) =
                             pooled_job(pool, &configs[ci], &plans[ci], suite, wi, collect_obs);
-                        if pool.mode() != WarmMode::Off
+                        if (pool.mode() != WarmMode::Off || pool.sim() == SimMode::Sample)
                             && remaining[wi].fetch_sub(1, Ordering::AcqRel) == 1
                         {
                             pool.evict_workload(wi);
@@ -1153,6 +1458,118 @@ mod tests {
         let out = run_grid_pooled(&pool, &configs, 2, false);
         assert!(out.telemetry.iter().all(|t| t.warm == "straight"));
         assert_eq!(pool.stats().snapshot_misses, 0);
+    }
+
+    #[test]
+    fn sim_mode_parses_strictly() {
+        assert_eq!("full".parse::<SimMode>().unwrap(), SimMode::Full);
+        assert_eq!("".parse::<SimMode>().unwrap(), SimMode::Full);
+        assert_eq!("sample".parse::<SimMode>().unwrap(), SimMode::Sample);
+        assert!("quick".parse::<SimMode>().is_err());
+    }
+
+    #[test]
+    fn sample_plan_partitions_the_interval_grid() {
+        let w = &rfp_trace::suite()[0];
+        let ct = w.compiled(
+            7 * SAMPLE_INTERVAL_UOPS,
+            SAMPLE_INTERVAL_UOPS,
+            SAMPLE_INTERVAL_UOPS,
+        );
+        let n = ct.intervals().len();
+        assert_eq!(n, 6);
+        let plan = build_sample_plan(&ct);
+        // Every interval lands in exactly one phase, reps are members.
+        let mut covered: Vec<usize> = plan
+            .phases
+            .iter()
+            .flat_map(|p| p.members.iter().copied())
+            .collect();
+        covered.sort_unstable();
+        assert_eq!(covered, (0..n).collect::<Vec<_>>());
+        for p in &plan.phases {
+            assert!(p.members.contains(&p.rep));
+        }
+        assert_eq!(plan.tail, 0);
+        assert_eq!(plan, build_sample_plan(&ct), "plan is deterministic");
+        assert_eq!(
+            plan.simulated_uops(SAMPLE_INTERVAL_UOPS),
+            plan.phases.len() as u64 * SAMPLE_INTERVAL_UOPS
+        );
+    }
+
+    #[test]
+    fn sampled_grid_extrapolates_to_the_full_measured_length() {
+        // Two full intervals plus a ragged tail: weights must cover the
+        // whole measured region exactly — retired_uops is extrapolated,
+        // not simulated, so an off-by-one-interval bug shows up here.
+        let len = 2 * SAMPLE_INTERVAL_UOPS + 4096;
+        let configs = [
+            CoreConfig::tiger_lake(),
+            CoreConfig::tiger_lake().with_rfp(),
+        ];
+        let pool = WarmPool::with_sim(WarmMode::Exact, SimMode::Sample, len);
+        let out = run_grid_pooled(&pool, &configs, 2, false);
+        for t in &out.telemetry {
+            let expect = if t.config == 0 {
+                "sample-fork" // the baseline is its own twin
+            } else {
+                "sample-transplant"
+            };
+            assert_eq!(t.warm, expect, "{}", t.workload);
+        }
+        for r in out.reports.iter().flatten() {
+            assert_eq!(r.stats.retired_uops, len, "{}", r.workload);
+            assert!(r.stats.cycles > 0, "{}", r.workload);
+        }
+        assert!(out.reports[1].iter().any(|r| r.stats.rfp_injected > 0));
+    }
+
+    #[test]
+    fn sampled_degenerate_short_run_matches_full_fidelity() {
+        // Under two full intervals the sampler cannot skip anything and
+        // must fall back to a bit-exact full run of the compiled arena.
+        let configs = [CoreConfig::tiger_lake().with_rfp()];
+        let full = run_grid_pooled(&WarmPool::new(WarmMode::Off, 1_000), &configs, 2, false);
+        let pool = WarmPool::with_sim(WarmMode::Exact, SimMode::Sample, 1_000);
+        let samp = run_grid_pooled(&pool, &configs, 2, false);
+        assert!(samp.telemetry.iter().all(|t| t.warm == "sample-full"));
+        for (f, s) in full
+            .reports
+            .iter()
+            .flatten()
+            .zip(samp.reports.iter().flatten())
+        {
+            assert_eq!(f.stats, s.stats, "{}", f.workload);
+        }
+    }
+
+    #[test]
+    fn sampled_obs_grid_stays_consistent_with_its_stats() {
+        let len = 3 * SAMPLE_INTERVAL_UOPS;
+        let configs = [CoreConfig::tiger_lake().with_rfp()];
+        let pool = WarmPool::with_sim(WarmMode::Exact, SimMode::Sample, len);
+        let plain = run_grid_pooled(&pool, &configs, 2, false);
+        let obs = run_grid_pooled(&pool, &configs, 2, true);
+        for (p, o) in plain.reports[0].iter().zip(&obs.reports[0]) {
+            assert_eq!(p.stats, o.stats, "{}: probing changed the run", p.workload);
+            let m = o.obs.as_ref().expect("obs attached");
+            assert_eq!(
+                m.rfp_complete_rel_issue.total(),
+                o.stats.rfp_useful,
+                "{}: extrapolated timeliness tracks extrapolated useful",
+                o.workload
+            );
+            let cpi = o.cpi.as_ref().expect("cpi attached");
+            assert!(
+                cpi.intervals_consistent(),
+                "{}: epoch placement must conserve the stack",
+                o.workload
+            );
+            let t = o.profile.as_ref().expect("profile attached").totals();
+            assert_eq!(t.useful(), o.stats.rfp_useful, "{}", o.workload);
+            assert_eq!(t.injected, o.stats.rfp_injected, "{}", o.workload);
+        }
     }
 
     #[test]

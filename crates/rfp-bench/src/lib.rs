@@ -33,11 +33,14 @@ use rfp_stats::{
 use rfp_trace::Category;
 use rfp_types::json_escape;
 
-pub use diff::{diff_metrics, flatten, parse_json, DiffOutcome, Json, Violation};
+pub use diff::{
+    diff_metrics, diff_metrics_with, flatten, parse_json, DiffOutcome, Json, Violation,
+};
 pub use engine::{
-    config_key, default_threads, env_parsed, run_grid, run_grid_full, run_grid_obs,
-    run_grid_pooled, telemetry_jsonl, trace_len_from_env, update_bench_json, warm_key,
-    warm_projection, warm_twin, GridOutcome, JobTelemetry, WarmMode, WarmPool, WarmPoolStats,
+    build_sample_plan, config_key, default_threads, env_parsed, run_grid, run_grid_full,
+    run_grid_obs, run_grid_pooled, telemetry_jsonl, trace_len_from_env, update_bench_json,
+    warm_key, warm_projection, warm_twin, GridOutcome, JobTelemetry, SamplePhase, SamplePlan,
+    SimMode, WarmMode, WarmPool, WarmPoolStats, SAMPLE_INTERVAL_UOPS, SAMPLE_WARM_PREFIX,
 };
 
 /// Default measured trace length per workload (after an equal warmup).
@@ -362,6 +365,17 @@ impl Harness {
         let len = self.len;
         let reports = self.obs_suite_for("metrics", cfg).to_vec();
         metrics_reports_json(cfg, len, &reports)
+    }
+
+    /// The `--sampling-report` payload for `cfg` (see
+    /// [`sampling_report_json`]), produced through the obs cache — the
+    /// metrics it summarizes come from whatever [`SimMode`] the harness's
+    /// pool runs at, so the same call emits the full-fidelity reference
+    /// or the sampled candidate depending on `RFP_SIM_MODE`.
+    pub fn sampling_json(&mut self, cfg: &CoreConfig) -> String {
+        let len = self.len;
+        let reports = self.obs_suite_for("sampling", cfg).to_vec();
+        sampling_report_json(cfg, len, &reports)
     }
 
     fn baseline(&mut self) -> Vec<SimReport> {
@@ -1650,6 +1664,111 @@ pub fn metrics_suite_json(cfg: &CoreConfig, len: u64, threads: usize) -> String 
         .pop()
         .expect("one config in, one row out");
     metrics_reports_json(cfg, len, &reports)
+}
+
+/// The `--sampling-report` payload: a compact per-workload document of
+/// exactly the headline metrics the phase sampler's accuracy gate
+/// tracks — IPC, RFP coverage, cycles and the whole-run CPI stack
+/// rendered as *shares* (each bucket's fraction of total retire
+/// slots). Shares rather than raw slot counts because the gate's
+/// relative-error formula (`|b - a| / max(|a|, 1)`) degenerates to an
+/// absolute count on near-empty buckets — a 3-slot bucket that
+/// extrapolates to 2600 slots would read as a "2600x" error even
+/// though it moved 0.02% of the stack. A share diff *is* the
+/// displacement of the CPI stack, which is what the sampler actually
+/// promises to preserve. Generated once in full fidelity and once
+/// under `RFP_SIM_MODE=sample`, the two documents feed
+/// `experiments diff` with `baselines/sampling_tolerances.json` as
+/// the gating overlay.
+///
+/// # Panics
+///
+/// Panics if a report carries no `cpi` payload (the document needs
+/// obs-instrumented runs).
+pub fn sampling_report_json(cfg: &CoreConfig, len: u64, reports: &[SimReport]) -> String {
+    let mut rows = Vec::with_capacity(reports.len());
+    for r in reports {
+        let c = r.cpi.as_ref().expect("cpi-instrumented run");
+        let total: u64 = CpiBucket::ALL.iter().map(|&b| c.stack.get(b)).sum();
+        let buckets: Vec<String> = CpiBucket::ALL
+            .iter()
+            .map(|&b| {
+                let share = c.stack.get(b) as f64 / total.max(1) as f64;
+                format!("\"{}\":{share:.6}", b.label())
+            })
+            .collect();
+        rows.push(format!(
+            "{{\"workload\":\"{}\",\"ipc\":{:.6},\"coverage\":{:.6},\"cycles\":{},\
+             \"cpi\":{{{}}}}}",
+            json_escape(&r.workload),
+            r.ipc(),
+            r.coverage(),
+            r.stats.cycles,
+            buckets.join(",")
+        ));
+    }
+    format!(
+        "{{\"config_key\":\"{:016x}\",\"len\":{len},\"workloads\":[{}]}}\n",
+        config_key(cfg),
+        rows.join(",")
+    )
+}
+
+/// Summarizes the sampling error between two [`sampling_report_json`]
+/// documents (full fidelity vs sampled) as per-metric p50/p95/max
+/// relative errors across the workload suite — the CI error-bound
+/// artifact. The relative-error formula matches [`diff_metrics`]
+/// (`|b - a| / max(|a|, 1)`), so the report predicts exactly what the
+/// tolerance gate will see.
+///
+/// # Errors
+///
+/// Returns `Err` when either document fails to parse.
+pub fn sampling_error_report_json(full_text: &str, sampled_text: &str) -> Result<String, String> {
+    let full = flatten(&parse_json(full_text).map_err(|e| format!("full: {e}"))?);
+    let sampled = flatten(&parse_json(sampled_text).map_err(|e| format!("sampled: {e}"))?);
+    // Group per-workload leaves by metric path (the part after
+    // `workloads[i].`); non-numeric leaves (names) don't participate.
+    let mut by_metric: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    let mut workloads = 0usize;
+    for (path, v) in &full {
+        let Some(bracket) = path.strip_prefix("workloads[") else {
+            continue;
+        };
+        let Some((_, metric)) = bracket.split_once("].") else {
+            continue;
+        };
+        let (Json::Num(a), Some(Json::Num(b))) = (v, sampled.get(path)) else {
+            continue;
+        };
+        if metric == "ipc" {
+            workloads += 1;
+        }
+        let rel = (b - a).abs() / a.abs().max(1.0);
+        by_metric.entry(metric.to_string()).or_default().push(rel);
+    }
+    let mut worst: (String, f64) = (String::new(), -1.0);
+    let mut rows = Vec::with_capacity(by_metric.len());
+    for (metric, mut errs) in by_metric {
+        errs.sort_by(f64::total_cmp);
+        let p50 = rfp_stats::percentile(&errs, 50).unwrap_or(0.0);
+        let p95 = rfp_stats::percentile(&errs, 95).unwrap_or(0.0);
+        let max = errs.last().copied().unwrap_or(0.0);
+        if max > worst.1 {
+            worst = (metric.clone(), max);
+        }
+        rows.push(format!(
+            "\"{}\":{{\"p50\":{p50:.6},\"p95\":{p95:.6},\"max\":{max:.6}}}",
+            json_escape(&metric)
+        ));
+    }
+    Ok(format!(
+        "{{\"workloads\":{workloads},\"worst_metric\":\"{}\",\"worst_rel_error\":{:.6},\
+         \"metrics\":{{{}}}}}\n",
+        json_escape(&worst.0),
+        worst.1.max(0.0),
+        rows.join(",")
+    ))
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 
 use rfp_bench::{
     run_grid, run_grid_obs, run_grid_pooled, run_suite_with_threads, warm_key, warm_projection,
-    WarmMode, WarmPool,
+    SimMode, WarmMode, WarmPool, SAMPLE_INTERVAL_UOPS,
 };
 use rfp_core::{simulate_workload, CoreConfig};
 use rfp_stats::{CpiBucket, CpiReport, ObsMetrics, ProfileReport, SimReport};
@@ -300,6 +300,149 @@ fn warm_forks_are_byte_identical_to_straight_through() {
                 "the pool must actually have shared snapshots"
             );
         }
+    }
+}
+
+#[test]
+fn sampled_runs_are_byte_identical_at_any_thread_count_and_probe_setting() {
+    // Phase sampling is an approximation of full fidelity, but it must be
+    // a *deterministic* approximation: the sampled grid's canonical bytes
+    // cannot depend on the thread count, and attaching probes cannot
+    // perturb the extrapolated counters. Two configs sharing one warm
+    // twin exercise the transplant path; the ragged tail keeps the exact
+    // tail-interval machinery in play.
+    let configs = [
+        CoreConfig::tiger_lake(),
+        CoreConfig::tiger_lake().with_rfp(),
+    ];
+    let len = 2 * SAMPLE_INTERVAL_UOPS + 1024;
+    let reference = run_grid_pooled(
+        &WarmPool::with_sim(WarmMode::Exact, SimMode::Sample, len),
+        &configs,
+        1,
+        false,
+    );
+    // The baseline is its own warm twin (resume path); the RFP config
+    // transplants the twin's caches into a fresh core. Both sampled
+    // paths are in play in this grid.
+    for t in &reference.telemetry {
+        assert!(
+            t.warm == "sample-fork" || t.warm == "sample-transplant",
+            "unexpected warm path {:?}",
+            t.warm
+        );
+    }
+    assert!(reference.telemetry.iter().any(|t| t.warm == "sample-fork"));
+    assert!(reference
+        .telemetry
+        .iter()
+        .any(|t| t.warm == "sample-transplant"));
+    let reference_bytes: Vec<Vec<u8>> = reference
+        .reports
+        .iter()
+        .map(|r| canonical_bytes(r))
+        .collect();
+    for threads in [2, 8] {
+        for collect_obs in [false, true] {
+            let got = run_grid_pooled(
+                &WarmPool::with_sim(WarmMode::Exact, SimMode::Sample, len),
+                &configs,
+                threads,
+                collect_obs,
+            );
+            for (row, (g, r)) in got.reports.iter().zip(&reference_bytes).enumerate() {
+                if collect_obs {
+                    // Probed reports carry extra payloads, so compare the
+                    // deterministic counters structurally instead.
+                    for (a, b) in g.iter().zip(&reference.reports[row]) {
+                        assert_eq!(
+                            a.stats, b.stats,
+                            "threads={threads} row={row}: probes perturbed sampling"
+                        );
+                    }
+                } else {
+                    assert_eq!(
+                        &canonical_bytes(g),
+                        r,
+                        "threads={threads} row={row}: sampled run diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sampled_single_config_grid_forks_its_own_twin() {
+    // The baseline config *is* its own warm twin, so the sampler resumes
+    // its snapshot in place instead of transplanting — and that path must
+    // be just as thread-invariant as the transplant path.
+    let cfg = CoreConfig::tiger_lake();
+    let len = 3 * SAMPLE_INTERVAL_UOPS;
+    let reference = run_grid_pooled(
+        &WarmPool::with_sim(WarmMode::Exact, SimMode::Sample, len),
+        std::slice::from_ref(&cfg),
+        1,
+        false,
+    );
+    assert!(
+        reference.telemetry.iter().all(|t| t.warm == "sample-fork"),
+        "a config that is its own twin must stay on the in-place resume path"
+    );
+    let reference_bytes = canonical_bytes(&reference.reports[0]);
+    for threads in [2, 8] {
+        let got = run_grid_pooled(
+            &WarmPool::with_sim(WarmMode::Exact, SimMode::Sample, len),
+            std::slice::from_ref(&cfg),
+            threads,
+            false,
+        );
+        assert_eq!(
+            canonical_bytes(&got.reports[0]),
+            reference_bytes,
+            "threads={threads}: sampled fork run diverged"
+        );
+    }
+}
+
+mod compiled_trace_fidelity {
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The compiled arena is a pure pre-resolution of the pattern
+        /// generator: for any workload in the suite, any seed override
+        /// and any length, the uop stream must be identical op for op.
+        #[test]
+        fn compiled_arena_matches_the_generator(
+            wi in 0usize..65,
+            seed in any::<u64>(),
+            len in 1u64..6000,
+        ) {
+            let suite = rfp_trace::suite();
+            prop_assume!(wi < suite.len());
+            let mut w = suite[wi].clone();
+            w.seed = seed;
+            let compiled = w.compiled(len, len / 2, 1024);
+            prop_assert_eq!(compiled.ops(), &w.trace_vec(len)[..]);
+        }
+    }
+}
+
+#[test]
+fn compiled_arena_matches_the_generator_for_every_suite_workload() {
+    // The proptest above samples; this nails the exact shipped suite at
+    // its shipped seeds, every family, byte for byte.
+    for w in rfp_trace::suite() {
+        let len = 4096;
+        let compiled = w.compiled(len, len / 2, SAMPLE_INTERVAL_UOPS);
+        assert_eq!(
+            compiled.ops(),
+            &w.trace_vec(len)[..],
+            "{}: compiled arena diverged from the generator",
+            w.name
+        );
     }
 }
 

@@ -2169,6 +2169,83 @@ impl WarmState {
         core.adopt_warm_structures(&self.core);
         Ok(core.run_with_warmup_probed(measured, 0))
     }
+
+    /// Forks the snapshot to measure one trace *window*: runs `rest` (a
+    /// slice of the original trace starting anywhere at or after the
+    /// snapshot's cursor position is resolvable) and discards statistics
+    /// until `warm_uops` of the fed stream have retired — the snapshot's
+    /// in-flight uops drain first and are always excluded. Used by the
+    /// phase sampler: `rest` is a warm prefix plus one representative
+    /// interval, `warm_uops` is the prefix length, and the returned stats
+    /// cover exactly the interval.
+    pub fn resume_window(
+        &self,
+        rest: impl IntoIterator<Item = MicroOp>,
+        warm_uops: u64,
+    ) -> CoreStats {
+        self.resume_window_probed(rest, warm_uops, NoopProbe).0
+    }
+
+    /// [`WarmState::resume_window`] with a probe attached to the fork.
+    /// The probe sees the warm prefix too (its `StatsReset` event marks
+    /// the window start, exactly like a straight-through warmup run).
+    pub fn resume_window_probed<Q: Probe>(
+        &self,
+        rest: impl IntoIterator<Item = MicroOp>,
+        warm_uops: u64,
+        probe: Q,
+    ) -> (CoreStats, Q) {
+        let mut core = self.core.clone().into_probed(probe);
+        // Everything dispatched before the fork (`next_seq` uops, some
+        // still in flight) plus the first `warm_uops` of `rest` retire
+        // before the stats reset, so the measured region is exactly the
+        // remainder of `rest`.
+        core.warmup_uops = self.core.next_seq + warm_uops;
+        core.warmup_done = false;
+        let wall_start = Instant::now();
+        if self.finished {
+            return core.finalize(wall_start);
+        }
+        let mut rest = rest.into_iter().peekable();
+        core.run_loop(&mut rest, false);
+        core.finalize(wall_start)
+    }
+
+    /// [`WarmState::transplant`] generalized to a window: the fresh core
+    /// adopts the donor's warm structures, then treats the first
+    /// `warm_uops` of `measured` as detailed warmup (re-filling the
+    /// config-specific structures a transplant leaves cold) before the
+    /// stats reset. `transplant(cfg, t)` ≡ `transplant_window(cfg, t, 0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when `cfg` is invalid.
+    pub fn transplant_window(
+        &self,
+        cfg: &CoreConfig,
+        measured: impl IntoIterator<Item = MicroOp>,
+        warm_uops: u64,
+    ) -> Result<CoreStats, ConfigError> {
+        self.transplant_window_probed(cfg, measured, warm_uops, NoopProbe)
+            .map(|(stats, _)| stats)
+    }
+
+    /// [`WarmState::transplant_window`] with a probe attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when `cfg` is invalid.
+    pub fn transplant_window_probed<Q: Probe>(
+        &self,
+        cfg: &CoreConfig,
+        measured: impl IntoIterator<Item = MicroOp>,
+        warm_uops: u64,
+        probe: Q,
+    ) -> Result<(CoreStats, Q), ConfigError> {
+        let mut core = Core::with_probe(cfg.clone(), probe)?;
+        core.adopt_warm_structures(&self.core);
+        Ok(core.run_with_warmup_probed(measured, warm_uops))
+    }
 }
 
 #[cfg(test)]
@@ -2303,6 +2380,70 @@ mod tests {
         let rest = trace[warm.consumed_uops() as usize..].to_vec();
         let forked = warm.resume(rest);
         assert_eq!(forked, straight);
+    }
+
+    #[test]
+    fn window_fork_is_byte_identical_to_straight_through() {
+        // A windowed fork with boundary `consumed + P` over the remainder
+        // must equal a straight-through run whose warmup is that boundary:
+        // the in-flight uops drain into the discarded prefix either way.
+        for cfg in [
+            CoreConfig::tiger_lake(),
+            CoreConfig::tiger_lake().with_rfp(),
+        ] {
+            let trace = fork_trace(6_000);
+            let warm = Core::new(cfg.clone())
+                .unwrap()
+                .warm_up(trace.clone(), 2_000);
+            let consumed = warm.consumed_uops();
+            let prefix = 512u64;
+            let windowed = warm.resume_window(trace[consumed as usize..].to_vec(), prefix);
+            let straight = Core::new(cfg)
+                .unwrap()
+                .run_with_warmup(trace.clone(), consumed + prefix);
+            assert_eq!(windowed, straight);
+            assert_eq!(
+                windowed.retired_uops,
+                trace.len() as u64 - consumed - prefix
+            );
+        }
+    }
+
+    #[test]
+    fn window_fork_measures_an_interior_interval() {
+        // Jumping the fork past trace positions it never replays still
+        // measures exactly the requested window length.
+        let trace = fork_trace(8_000);
+        let warm = Core::new(CoreConfig::tiger_lake())
+            .unwrap()
+            .warm_up(trace.clone(), 2_000);
+        let (start, prefix, interval) = (5_000usize, 512u64, 2_000u64);
+        let window = trace[start - prefix as usize..start + interval as usize].to_vec();
+        let stats = warm.resume_window(window, prefix);
+        assert_eq!(stats.retired_uops, interval);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn transplant_window_discards_its_warm_prefix() {
+        let trace = fork_trace(6_000);
+        let warmup = 2_000usize;
+        let warm = Core::new(CoreConfig::tiger_lake())
+            .unwrap()
+            .warm_up(trace.clone(), warmup as u64);
+        let rfp = CoreConfig::tiger_lake().with_rfp();
+        // warm_uops = 0 is exactly `transplant`.
+        let zero = warm
+            .transplant_window(&rfp, trace[warmup..].to_vec(), 0)
+            .unwrap();
+        let plain = warm.transplant(&rfp, trace[warmup..].to_vec()).unwrap();
+        assert_eq!(zero, plain);
+        // A nonzero prefix is excluded from the measured counters.
+        let prefix = 512u64;
+        let stats = warm
+            .transplant_window(&rfp, trace[warmup..].to_vec(), prefix)
+            .unwrap();
+        assert_eq!(stats.retired_uops, (trace.len() - warmup) as u64 - prefix);
     }
 
     #[test]

@@ -201,6 +201,15 @@ impl CpiStack {
         }
     }
 
+    /// Adds `other`'s slot counts into `self`, multiplied by `weight`
+    /// (the phase sampler's extrapolation — conservation survives integer
+    /// scaling exactly).
+    pub fn merge_scaled(&mut self, other: &CpiStack, weight: u64) {
+        for (a, b) in self.slots.iter_mut().zip(&other.slots) {
+            *a += b * weight;
+        }
+    }
+
     /// JSON object keyed by bucket label, in [`CpiBucket::ALL`] order.
     pub fn to_json(&self) -> String {
         let cells: Vec<String> = CpiBucket::ALL
@@ -264,6 +273,26 @@ impl CpiReport {
         for (a, b) in self.intervals.iter_mut().zip(&other.intervals) {
             a.merge(b);
         }
+    }
+
+    /// Scales `other`'s whole report by `weight` into `self`, epoch-wise
+    /// (used when the representative's own epoch placement is wanted).
+    pub fn merge_scaled(&mut self, other: &CpiReport, weight: u64) {
+        self.stack.merge_scaled(&other.stack, weight);
+        for (a, b) in self.intervals.iter_mut().zip(&other.intervals) {
+            a.merge_scaled(b, weight);
+        }
+    }
+
+    /// Extrapolation step with explicit epoch placement: adds `weight`
+    /// copies of `other`'s total stack, all landing in interval `epoch`
+    /// (clamped to the last). The phase sampler uses this to rebuild a
+    /// workload's interval time-series from representatives: each member
+    /// interval contributes the representative's stack at the member's
+    /// own epoch position, so `intervals` still sums to `stack` exactly.
+    pub fn merge_scaled_at(&mut self, other: &CpiReport, weight: u64, epoch: usize) {
+        self.stack.merge_scaled(&other.stack, weight);
+        self.intervals[epoch.min(CPI_INTERVALS - 1)].merge_scaled(&other.stack, weight);
     }
 
     /// Hand-written JSON rendering (the workspace builds without serde).

@@ -191,6 +191,101 @@ impl CoreStats {
             + self.rfp_dropped_squashed
     }
 
+    /// Adds `other`'s counters into `self`, each multiplied by `weight`
+    /// — the phase sampler's extrapolation step: a representative
+    /// interval's stats, scaled by how many intervals its phase covers.
+    /// Integer scaling preserves every linear invariant (funnel balance,
+    /// hit-level sums) exactly.
+    ///
+    /// `throughput.host_nanos` is added *unscaled*: it measures host work
+    /// actually done, not simulated work represented.
+    pub fn merge_scaled(&mut self, other: &CoreStats, weight: u64) {
+        // Exhaustive destructure: adding a `CoreStats` field without
+        // deciding its extrapolation behaviour is a compile error here.
+        let CoreStats {
+            cycles,
+            retired_uops,
+            retired_loads,
+            retired_stores,
+            retired_branches,
+            branch_mispredicts,
+            load_hit_levels,
+            load_forwarded,
+            loads_ready_at_alloc,
+            rfp_injected,
+            rfp_executed,
+            rfp_useful,
+            rfp_wrong_addr,
+            rfp_dropped_load_first,
+            rfp_dropped_tlb,
+            rfp_dropped_queue_full,
+            rfp_dropped_l1_miss,
+            rfp_dropped_squashed,
+            rfp_fully_hidden,
+            vp_predicted,
+            vp_mispredicted,
+            ap_known,
+            ap_high_confidence,
+            ap_no_fwd,
+            ap_probe_launched,
+            ap_probe_success,
+            ap_mispredicted,
+            sched_reissues,
+            md_violations,
+            vp_flushes,
+            epp_reexecutions,
+            mem_hit_counts,
+            tlb_walks,
+            stall_head_kind,
+            total_retired_uops,
+            total_cycles,
+            throughput,
+        } = other;
+        self.cycles += cycles * weight;
+        self.retired_uops += retired_uops * weight;
+        self.retired_loads += retired_loads * weight;
+        self.retired_stores += retired_stores * weight;
+        self.retired_branches += retired_branches * weight;
+        self.branch_mispredicts += branch_mispredicts * weight;
+        for (a, b) in self.load_hit_levels.iter_mut().zip(load_hit_levels) {
+            *a += b * weight;
+        }
+        self.load_forwarded += load_forwarded * weight;
+        self.loads_ready_at_alloc += loads_ready_at_alloc * weight;
+        self.rfp_injected += rfp_injected * weight;
+        self.rfp_executed += rfp_executed * weight;
+        self.rfp_useful += rfp_useful * weight;
+        self.rfp_wrong_addr += rfp_wrong_addr * weight;
+        self.rfp_dropped_load_first += rfp_dropped_load_first * weight;
+        self.rfp_dropped_tlb += rfp_dropped_tlb * weight;
+        self.rfp_dropped_queue_full += rfp_dropped_queue_full * weight;
+        self.rfp_dropped_l1_miss += rfp_dropped_l1_miss * weight;
+        self.rfp_dropped_squashed += rfp_dropped_squashed * weight;
+        self.rfp_fully_hidden += rfp_fully_hidden * weight;
+        self.vp_predicted += vp_predicted * weight;
+        self.vp_mispredicted += vp_mispredicted * weight;
+        self.ap_known += ap_known * weight;
+        self.ap_high_confidence += ap_high_confidence * weight;
+        self.ap_no_fwd += ap_no_fwd * weight;
+        self.ap_probe_launched += ap_probe_launched * weight;
+        self.ap_probe_success += ap_probe_success * weight;
+        self.ap_mispredicted += ap_mispredicted * weight;
+        self.sched_reissues += sched_reissues * weight;
+        self.md_violations += md_violations * weight;
+        self.vp_flushes += vp_flushes * weight;
+        self.epp_reexecutions += epp_reexecutions * weight;
+        for (a, b) in self.mem_hit_counts.iter_mut().zip(mem_hit_counts) {
+            *a += b * weight;
+        }
+        self.tlb_walks += tlb_walks * weight;
+        for (a, b) in self.stall_head_kind.iter_mut().zip(stall_head_kind) {
+            *a += b * weight;
+        }
+        self.total_retired_uops += total_retired_uops * weight;
+        self.total_cycles += total_cycles * weight;
+        self.throughput.host_nanos += throughput.host_nanos;
+    }
+
     /// Checks the RFP funnel invariant: every injected prefetch has
     /// landed in exactly one terminal bucket.
     ///
@@ -311,6 +406,14 @@ impl Log2Histogram {
         }
     }
 
+    /// Adds `other`'s counts into `self`, multiplied by `weight` (the
+    /// phase sampler's extrapolation).
+    pub fn merge_scaled(&mut self, other: &Log2Histogram, weight: u64) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b * weight;
+        }
+    }
+
     /// JSON array of the bucket counts.
     pub fn to_json(&self) -> String {
         let cells: Vec<String> = self.buckets.iter().map(|b| b.to_string()).collect();
@@ -356,6 +459,12 @@ impl SignedLog2Histogram {
     pub fn merge(&mut self, other: &SignedLog2Histogram) {
         self.neg.merge(&other.neg);
         self.nonneg.merge(&other.nonneg);
+    }
+
+    /// Adds `other`'s counts into `self`, multiplied by `weight`.
+    pub fn merge_scaled(&mut self, other: &SignedLog2Histogram, weight: u64) {
+        self.neg.merge_scaled(&other.neg, weight);
+        self.nonneg.merge_scaled(&other.nonneg, weight);
     }
 
     /// JSON object with `neg` and `nonneg` bucket arrays.
@@ -442,6 +551,36 @@ impl ObsMetrics {
         {
             for (x, y) in a.iter_mut().zip(b) {
                 *x += y;
+            }
+        }
+    }
+
+    /// Adds `other`'s counts into `self`, each multiplied by `weight` —
+    /// the distribution shape of one representative interval, weighted by
+    /// how many intervals its phase covers. Time-window indices stay
+    /// where the representative recorded them (windows count cycles since
+    /// that window's own stats reset).
+    pub fn merge_scaled(&mut self, other: &ObsMetrics, weight: u64) {
+        self.load_use_latency
+            .merge_scaled(&other.load_use_latency, weight);
+        for (a, b) in self
+            .load_latency_by_level
+            .iter_mut()
+            .zip(&other.load_latency_by_level)
+        {
+            a.merge_scaled(b, weight);
+        }
+        self.rfp_complete_rel_issue
+            .merge_scaled(&other.rfp_complete_rel_issue, weight);
+        self.rfp_queue_wait
+            .merge_scaled(&other.rfp_queue_wait, weight);
+        for (a, b) in self
+            .rfp_drops_over_time
+            .iter_mut()
+            .zip(&other.rfp_drops_over_time)
+        {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y * weight;
             }
         }
     }

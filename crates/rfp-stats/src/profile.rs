@@ -158,6 +158,28 @@ impl SiteProfile {
         self.stall_slots += other.stall_slots;
     }
 
+    /// Adds `other`'s counts into `self`, each multiplied by `weight`
+    /// (the phase sampler's extrapolation; scaling every counter by the
+    /// same integer preserves the per-site funnel identities exactly).
+    pub fn merge_scaled(&mut self, other: &SiteProfile, weight: u64) {
+        self.loads += other.loads * weight;
+        self.misses += other.misses * weight;
+        self.injected += other.injected * weight;
+        self.useful_fully_hidden += other.useful_fully_hidden * weight;
+        self.useful_late += other.useful_late * weight;
+        self.wrong_addr += other.wrong_addr * weight;
+        for (a, b) in self.not_predicted.iter_mut().zip(&other.not_predicted) {
+            *a += b * weight;
+        }
+        for (a, b) in self.drops.iter_mut().zip(&other.drops) {
+            *a += b * weight;
+        }
+        self.lateness.merge_scaled(&other.lateness, weight);
+        self.queue_wait_sum += other.queue_wait_sum * weight;
+        self.queue_wait_n += other.queue_wait_n * weight;
+        self.stall_slots += other.stall_slots * weight;
+    }
+
     /// Hand-written JSON rendering (the workspace builds without serde).
     pub fn to_json(&self) -> String {
         let arr = |xs: &[u64]| {
@@ -224,6 +246,14 @@ impl ProfileReport {
     pub fn merge(&mut self, other: &ProfileReport) {
         for (pc, s) in &other.sites {
             self.site_mut(*pc).merge(s);
+        }
+    }
+
+    /// Merges `other` into `self` with every site's counters multiplied
+    /// by `weight` (the phase sampler's extrapolation).
+    pub fn merge_scaled(&mut self, other: &ProfileReport, weight: u64) {
+        for (pc, s) in &other.sites {
+            self.site_mut(*pc).merge_scaled(s, weight);
         }
     }
 

@@ -25,7 +25,7 @@ pub fn splitmix64(mut x: u64) -> u64 {
 
 /// Extra bytes skipped between rows of a `Pattern2D` walk (three cache
 /// lines, so row boundaries break a naive single-stride predictor).
-const ROW_GAP_BYTES: i64 = 192;
+pub(crate) const ROW_GAP_BYTES: i64 = 192;
 
 /// An iterator producing the dynamic micro-op stream of a workload.
 ///

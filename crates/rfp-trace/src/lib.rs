@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod dynamic;
 mod io;
 mod params;
@@ -33,6 +34,7 @@ mod program;
 mod uop;
 mod workloads;
 
+pub use compiled::{CompiledTrace, IntervalSig};
 pub use dynamic::{splitmix64, TraceGen};
 pub use io::{parse_trace, write_trace, TraceParseError};
 pub use params::{AddrMix, GenParams, ValueMix, WorkingSetClass, WorkingSetMix};

@@ -19,7 +19,7 @@
 
 use crate::params::{AddrMix, GenParams, ValueMix, WorkingSetMix};
 use crate::program::Program;
-use crate::{MicroOp, TraceGen};
+use crate::{CompiledTrace, MicroOp, TraceGen};
 
 /// Benchmark suite category, as used for the per-category bars in the
 /// paper's figures.
@@ -110,6 +110,13 @@ impl Workload {
     /// fresh [`Workload::trace`] stream at any cursor).
     pub fn trace_vec(&self, len: u64) -> Vec<MicroOp> {
         self.trace(len).collect()
+    }
+
+    /// Compiles the first `len` micro-ops into a [`CompiledTrace`] arena
+    /// (byte-identical to [`Workload::trace`]) with interval BBVs of
+    /// `interval_len` ops starting at `measured_from`.
+    pub fn compiled(&self, len: u64, measured_from: u64, interval_len: u64) -> CompiledTrace {
+        CompiledTrace::compile(&self.program(), self.seed, len, measured_from, interval_len)
     }
 }
 

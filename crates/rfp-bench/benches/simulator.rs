@@ -14,7 +14,7 @@ use rfp_bench::{default_threads, run_grid, update_bench_json};
 use rfp_core::{
     simulate_workload, simulate_workload_probed, CalendarQueue, CoreConfig, OracleMode, VpMode,
 };
-use rfp_obs::{ChromeTraceSink, MetricsSink, NoopProbe, ProfileSink};
+use rfp_obs::{ChromeTraceSink, FlightRecorder, MetricsSink, NoopProbe, ProfileSink};
 use rfp_predictors::{DlvpConfig, ValuePredictorConfig};
 
 const LEN: u64 = 8_000;
@@ -164,6 +164,36 @@ fn bench_probe_overhead(c: &mut Criterion) {
             )
         })
     });
+    // Disarmed: the capture window sits past the end of the run, so the
+    // recorder pays only its clock/cursor compares and the rename-writer
+    // table — the steady-state cost `experiments inspect` rides on.
+    g.bench_function("flight_recorder_disarmed", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_workload_probed(
+                    &cfg,
+                    &workload,
+                    LEN,
+                    FlightRecorder::new(&[(LEN * 10, LEN * 10 + 1)], 64),
+                )
+                .expect("valid"),
+            )
+        })
+    });
+    // Armed over the whole measured region: the worst case.
+    g.bench_function("flight_recorder_armed", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_workload_probed(
+                    &cfg,
+                    &workload,
+                    LEN,
+                    FlightRecorder::new(&[(0, LEN)], LEN as usize + 64),
+                )
+                .expect("valid"),
+            )
+        })
+    });
     g.finish();
 }
 
@@ -248,6 +278,33 @@ fn bench_engine_json(_c: &mut Criterion) {
         )
         .expect("valid");
     });
+    // Flight recorder: re-measure the plain/noop pair alongside so the
+    // "noop cost unchanged" claim in this section is apples-to-apples
+    // within one run, then time the disarmed and fully-armed recorder.
+    let fr_plain_secs = time_run(&|| {
+        simulate_workload(&probe_cfg, &w, probe_len).expect("valid");
+    });
+    let fr_noop_secs = time_run(&|| {
+        simulate_workload_probed(&probe_cfg, &w, probe_len, NoopProbe).expect("valid");
+    });
+    let fr_disarmed_secs = time_run(&|| {
+        simulate_workload_probed(
+            &probe_cfg,
+            &w,
+            probe_len,
+            FlightRecorder::new(&[(probe_len * 10, probe_len * 10 + 1)], 64),
+        )
+        .expect("valid");
+    });
+    let fr_armed_secs = time_run(&|| {
+        simulate_workload_probed(
+            &probe_cfg,
+            &w,
+            probe_len,
+            FlightRecorder::new(&[(0, probe_len)], probe_len as usize + 64),
+        )
+        .expect("valid");
+    });
 
     let event_queue = format!(
         "{{\n    \"ops\": {OPS},\n    \"binary_heap_ns_per_op\": {:.2},\n    \"calendar_ns_per_op\": {:.2},\n    \"speedup\": {:.3}\n  }}",
@@ -273,6 +330,9 @@ fn bench_engine_json(_c: &mut Criterion) {
     let probe = format!(
         "{{\n    \"uops\": {probe_len},\n    \"uninstrumented_secs\": {plain_secs:.6},\n    \"noop_probe_secs\": {noop_secs:.6},\n    \"metrics_sink_secs\": {metrics_secs:.6},\n    \"profile_sink_secs\": {profile_secs:.6},\n    \"chrome_trace_sink_secs\": {chrome_secs:.6}\n  }}",
     );
+    let flight_recorder = format!(
+        "{{\n    \"uops\": {probe_len},\n    \"uninstrumented_secs\": {fr_plain_secs:.6},\n    \"noop_probe_secs\": {fr_noop_secs:.6},\n    \"disarmed_secs\": {fr_disarmed_secs:.6},\n    \"armed_secs\": {fr_armed_secs:.6}\n  }}",
+    );
     let path = std::path::Path::new(concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_engine.json"
@@ -283,6 +343,7 @@ fn bench_engine_json(_c: &mut Criterion) {
             ("event_queue", event_queue),
             ("engine", engine),
             ("probe", probe),
+            ("flight_recorder", flight_recorder),
         ],
     )
     .unwrap_or_else(|e| {
@@ -290,7 +351,7 @@ fn bench_engine_json(_c: &mut Criterion) {
         std::process::exit(2);
     });
     println!(
-        "merged event_queue/engine/probe sections into {}",
+        "merged event_queue/engine/probe/flight_recorder sections into {}",
         path.display()
     );
 }

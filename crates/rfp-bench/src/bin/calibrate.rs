@@ -39,6 +39,10 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
 }
 
 fn main() {
+    // Validate `RFP_INSPECT_WINDOWS` even though this bin never inspects:
+    // a malformed value exits 2 here exactly as it would in
+    // `experiments`, failing a typo'd pipeline at its first command.
+    let _ = rfp_bench::inspect_windows_from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut threads = default_threads();
     if let Some(v) = take_flag(&mut args, "--threads") {

@@ -52,12 +52,142 @@
 //! `--sampling-report` documents into per-metric p50/p95/max relative
 //! error bounds (JSON on stdout) using the same relative-error formula as
 //! `diff`, so the report predicts the gate outcome.
+//!
+//! `experiments inspect [--inspect-out FILE] [--konata-out FILE]
+//! <workload>` runs the two-pass anomaly → flight-recorder flow on one
+//! workload: the CPI interval series picks anomalous windows
+//! (`RFP_INSPECT_WINDOWS` budget, default 4), a second fork of the same
+//! warm snapshot records full per-uop lifecycles inside them, and the
+//! worst window is rendered as a pipeline table. `--konata-out` writes a
+//! `Kanata 0004` log loadable in the Konata O3 viewer.
+//!
+//! Run `experiments --help` for the generated subcommand/flag/env tables.
 
 use rfp_bench::{
-    default_threads, diff_metrics_with, sampling_error_report_json, telemetry_jsonl,
-    trace_len_from_env, trace_workload_json, Harness, DEFAULT_TRACE_LEN,
+    default_threads, diff_metrics_with, inspect_windows_from_env, inspect_workload,
+    sampling_error_report_json, telemetry_jsonl, trace_len_from_env, trace_workload_json, Harness,
+    DEFAULT_TRACE_LEN,
 };
 use rfp_core::{CoreConfig, OracleMode};
+
+/// Extra experiment ids accepted by `run` but excluded from `all` (their
+/// stdout carries probe-derived numbers, which `all` keeps out so its
+/// bytes stay invariant under instrumentation).
+const EXTRA_IDS: &[&str] = &["timeliness", "cpi", "profile"];
+
+/// Subcommand table for the generated usage text. Adding a subcommand
+/// here is the whole help-text change — the table renders aligned.
+const SUBCOMMANDS: &[(&str, &str)] = &[
+    (
+        "<id>... | all",
+        "regenerate the paper's tables/figures (ids below)",
+    ),
+    (
+        "inspect [--inspect-out FILE] [--konata-out FILE] <workload>",
+        "anomaly-window flight-recorder drill-down of one workload",
+    ),
+    (
+        "diff [--tolerances FILE] <baseline.json> <candidate.json>",
+        "regression sentinel over two metrics docs (exit 1 on violation)",
+    ),
+    (
+        "sampling-error <full.json> <sampled.json>",
+        "condense two --sampling-report docs into p50/p95/max error bounds",
+    ),
+];
+
+/// Side-output flag table for the generated usage text (stdout of the
+/// experiment ids stays byte-identical when any of these are set).
+const SIDE_FLAGS: &[(&str, &str)] = &[
+    (
+        "--threads N",
+        "work-stealing worker count (default: RFP_THREADS or all cores)",
+    ),
+    (
+        "--trace-out DIR",
+        "Perfetto pipeline trace of --trace-workload",
+    ),
+    (
+        "--trace-workload W",
+        "workload for --trace-out (default spec17_mcf)",
+    ),
+    (
+        "--metrics-out FILE",
+        "per-workload latency histograms (JSON)",
+    ),
+    (
+        "--profile-out FILE",
+        "per-load-PC attribution profile (JSON)",
+    ),
+    (
+        "--collapsed-out FILE",
+        "profile as collapsed stacks for flamegraph tooling",
+    ),
+    ("--telemetry-out FILE", "per-job engine telemetry (JSONL)"),
+    (
+        "--sampling-report FILE",
+        "per-workload IPC/coverage/CPI sampling summary (JSON)",
+    ),
+    (
+        "--inspect-out FILE",
+        "inspect only: windows + uop lifecycles (JSON)",
+    ),
+    (
+        "--konata-out FILE",
+        "inspect only: Kanata 0004 pipeline log",
+    ),
+];
+
+/// Renders one aligned two-column table.
+fn push_table(out: &mut String, rows: &[(String, String)]) {
+    let w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    for (n, d) in rows {
+        out.push_str(&format!("  {n:<w$}  {d}\n"));
+    }
+}
+
+/// The full usage text, generated from [`SUBCOMMANDS`], [`SIDE_FLAGS`],
+/// the harness's id list and the env-knob table — nothing hand-drifted.
+fn usage() -> String {
+    let own = |rows: &[(&str, &str)]| -> Vec<(String, String)> {
+        rows.iter()
+            .map(|&(n, d)| (n.to_string(), d.to_string()))
+            .collect()
+    };
+    let env_rows = vec![
+        (
+            "RFP_TRACE_LEN".to_string(),
+            format!("measured uops per workload (default {DEFAULT_TRACE_LEN})"),
+        ),
+        (
+            "RFP_THREADS".to_string(),
+            "default worker count".to_string(),
+        ),
+        (
+            "RFP_WARM_MODE".to_string(),
+            "off | exact | checkpoint (default exact)".to_string(),
+        ),
+        (
+            "RFP_SIM_MODE".to_string(),
+            "full | sample (default full)".to_string(),
+        ),
+        (
+            "RFP_INSPECT_WINDOWS".to_string(),
+            "capture-window budget for inspect (default 4)".to_string(),
+        ),
+    ];
+    let mut out = String::from("usage: experiments [flags] <subcommand>\n\nsubcommands:\n");
+    push_table(&mut out, &own(SUBCOMMANDS));
+    out.push_str(&format!(
+        "\nids: {}\nextras (not in `all`): {}\n\nside-output flags:\n",
+        Harness::ALL_IDS.join(" "),
+        EXTRA_IDS.join(" ")
+    ));
+    push_table(&mut out, &own(SIDE_FLAGS));
+    out.push_str("\nenv:\n");
+    push_table(&mut out, &env_rows);
+    out
+}
 
 /// Reads a file or exits with code 2 and a contextual message — I/O
 /// problems are usage errors here, not bugs worth a backtrace.
@@ -89,6 +219,10 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
 }
 
 fn main() {
+    // Validate every env knob up front so a malformed value fails the
+    // pipeline at its first command instead of mid-sweep (the values are
+    // re-read where they're used).
+    let _ = inspect_windows_from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // The sentinel subcommands are pure file comparison — dispatch
     // before any simulation setup.
@@ -131,6 +265,37 @@ fn main() {
             }
         }
     }
+    if args.first().map(String::as_str) == Some("inspect") {
+        let inspect_out = take_flag(&mut args, "--inspect-out");
+        let konata_out = take_flag(&mut args, "--konata-out");
+        if args.len() != 2 {
+            eprintln!(
+                "usage: experiments inspect [--inspect-out FILE] [--konata-out FILE] <workload>"
+            );
+            std::process::exit(2);
+        }
+        let windows = inspect_windows_from_env();
+        let len = trace_len_from_env(DEFAULT_TRACE_LEN);
+        let cfg = CoreConfig::tiger_lake().with_rfp();
+        match inspect_workload(&args[1], &cfg, len, windows) {
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+            Ok(o) => {
+                print!("{}", o.render());
+                if let Some(file) = &inspect_out {
+                    write_or_die(file, &o.to_json());
+                    eprintln!("wrote inspect windows to {file}");
+                }
+                if let Some(file) = &konata_out {
+                    write_or_die(file, &o.to_konata());
+                    eprintln!("wrote Kanata 0004 log to {file} (load in the Konata viewer)");
+                }
+                std::process::exit(0);
+            }
+        }
+    }
     let mut threads = default_threads();
     if let Some(v) = take_flag(&mut args, "--threads") {
         match v.parse::<usize>() {
@@ -156,18 +321,7 @@ fn main() {
         || telemetry_out.is_some()
         || sampling_out.is_some();
     if (args.is_empty() && !side_outputs) || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!(
-            "usage: experiments [--threads N] [--trace-out DIR] [--trace-workload W] \
-             [--metrics-out FILE] [--profile-out FILE] [--collapsed-out FILE] \
-             [--telemetry-out FILE] [--sampling-report FILE] <id>... | all\n  ids: {}\n  \
-             extras (not in `all`): timeliness cpi profile\n  \
-             regression sentinel: experiments diff [--tolerances FILE] \
-             <baseline.json> <candidate.json>\n  \
-             sampling error bounds: experiments sampling-error <full.json> <sampled.json>\n  \
-             env: RFP_TRACE_LEN=<uops> (default {DEFAULT_TRACE_LEN}), RFP_THREADS=<n>, \
-             RFP_WARM_MODE=off|exact|checkpoint, RFP_SIM_MODE=full|sample",
-            Harness::ALL_IDS.join(" ")
-        );
+        eprint!("{}", usage());
         std::process::exit(if args.is_empty() && !side_outputs {
             2
         } else {
@@ -180,11 +334,7 @@ fn main() {
     } else {
         let mut ids = Vec::new();
         for a in &args {
-            if Harness::ALL_IDS.contains(&a.as_str())
-                || a == "timeliness"
-                || a == "cpi"
-                || a == "profile"
-            {
+            if Harness::ALL_IDS.contains(&a.as_str()) || EXTRA_IDS.contains(&a.as_str()) {
                 ids.push(a.as_str());
             } else {
                 eprintln!("unknown experiment id: {a} (try --help)");

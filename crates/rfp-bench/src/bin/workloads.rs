@@ -136,6 +136,8 @@ fn main() {
     // it would in `experiments`/`calibrate`, so a typo'd export fails the
     // whole pipeline at its first command instead of half-applying.
     let _ = rfp_bench::SimMode::from_env();
+    // Same deal for `RFP_INSPECT_WINDOWS` (used by `experiments inspect`).
+    let _ = rfp_bench::inspect_windows_from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         args.drain(i..(i + 2).min(args.len()));

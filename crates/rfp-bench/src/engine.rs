@@ -61,6 +61,20 @@ pub fn trace_len_from_env(default: u64) -> u64 {
     }
 }
 
+/// `RFP_INSPECT_WINDOWS` — how many anomalous capture windows
+/// `experiments inspect` records — with strict parsing ([`env_parsed`]),
+/// defaulting to 4. Zero windows would capture nothing and is rejected.
+pub fn inspect_windows_from_env() -> usize {
+    match env_parsed::<usize>("RFP_INSPECT_WINDOWS") {
+        Some(0) => {
+            eprintln!("error: RFP_INSPECT_WINDOWS must be >= 1");
+            std::process::exit(2);
+        }
+        Some(n) => n,
+        None => 4,
+    }
+}
+
 /// Worker-thread count to use when the caller doesn't override it:
 /// the `RFP_THREADS` environment variable if set (strictly parsed — a
 /// malformed or zero value is an error, not a silent fallback), otherwise
@@ -545,6 +559,25 @@ impl WarmPool {
             self.snapshot_hits.fetch_add(1, Ordering::Relaxed);
         }
         Arc::clone(state)
+    }
+
+    /// Forks the §9.4 warm snapshot for `suite[wi]` under `cfg` and runs
+    /// the measured region with `probe` attached, returning the stats and
+    /// the probe. Always the *exact* fork path (the probe observes the
+    /// true trajectory) regardless of the pool's warm/sim mode — this is
+    /// the `experiments inspect` two-pass entry point, where both passes
+    /// must replay the identical measured stream.
+    pub fn fork_probed<Q: rfp_obs::Probe>(
+        &self,
+        cfg: &CoreConfig,
+        suite: &[Workload],
+        wi: usize,
+        probe: Q,
+    ) -> (rfp_stats::CoreStats, Q) {
+        let trace = self.trace(suite, wi);
+        let snap = self.snapshot(cfg, warm_key(cfg), suite, wi);
+        let rest = trace.ops()[snap.consumed_uops() as usize..].iter().copied();
+        snap.resume_probed(rest, probe)
     }
 
     /// Drops `suite[wi]`'s trace and unpinned snapshots — called when the

@@ -1,0 +1,586 @@
+//! `experiments inspect` — the two-pass anomaly → flight-recorder flow.
+//!
+//! Pass 1 forks the workload's §9.4 warm snapshot with a
+//! [`CpiStackSink`] attached and hands the per-8192-uop interval series
+//! to [`rfp_stats::detect_anomalies`], which picks the capture windows.
+//! Pass 2 re-forks the *same* snapshot with a [`FlightRecorder`] armed
+//! only inside those windows (each widened by [`INSPECT_LEAD_UOPS`] of
+//! lead-in so the load blocking the window head is captured, not just
+//! its victims). Both passes replay the identical measured stream —
+//! enforced here by comparing the two passes' [`CoreStats`] — so the
+//! recorded uops are exactly the ones the CPI series charged.
+//!
+//! The outcome renders three ways: a textual pipeline view of the worst
+//! window ([`InspectOutcome::render`]), a JSON document
+//! ([`InspectOutcome::to_json`], parseable by this crate's own
+//! `parse_json`), and a Konata `Kanata 0004` log
+//! ([`InspectOutcome::to_konata`]) loadable in the standard O3 pipeline
+//! viewer.
+
+use std::fmt::Write as _;
+
+use rfp_core::CoreConfig;
+use rfp_obs::{CpiStackSink, FlightRecorder, FlushKind, UopRecord};
+use rfp_stats::{detect_anomalies, pct, AnomalyWindow, CoreStats, TextTable};
+use rfp_types::json_escape;
+
+use crate::engine::{WarmMode, WarmPool};
+
+/// Retired-uop lead-in prepended to each anomalous window before arming
+/// the recorder: roughly one ROB depth, so the long-latency load whose
+/// stall *defines* the window head is in the capture, not just the uops
+/// that piled up behind it.
+pub const INSPECT_LEAD_UOPS: u64 = 512;
+
+/// Per-window drill-down rows printed before eliding the rest.
+const RENDER_MAX_ROWS: usize = 48;
+
+/// Ring headroom beyond the summed window spans, so lead-in overlap and
+/// retire-slot granularity never evict live records.
+const RING_SLACK: usize = 1024;
+
+/// One captured window: the detector's verdict plus the widened span the
+/// recorder was armed for and the uops it caught there.
+#[derive(Debug, Clone)]
+pub struct InspectedWindow {
+    /// The detector's verdict for this interval.
+    pub anomaly: AnomalyWindow,
+    /// Armed retired-uop span `[start, end)` after lead-in widening.
+    pub span: (u64, u64),
+    /// Captured lifecycles, in sequence order.
+    pub records: Vec<UopRecord>,
+}
+
+/// The result of the two-pass inspect flow for one workload.
+#[derive(Debug, Clone)]
+pub struct InspectOutcome {
+    /// Workload name.
+    pub workload: String,
+    /// Retired uops in the measured region.
+    pub measured_uops: u64,
+    /// Window budget the detector ran with.
+    pub max_windows: usize,
+    /// Records evicted from the recorder ring (0 unless the spans
+    /// overflowed the ring).
+    pub ring_evicted: u64,
+    /// Captured windows, worst (most stall slots) first.
+    pub windows: Vec<InspectedWindow>,
+}
+
+/// Runs the two-pass inspect flow for the named workload.
+///
+/// `len` is the measured trace length (warmup is `len / 2` on top, as
+/// everywhere else). Unknown workload names and a pass-1/pass-2 stats
+/// divergence (which would mean the recorder perturbed the simulation —
+/// a bug) return `Err`.
+pub fn inspect_workload(
+    name: &str,
+    cfg: &CoreConfig,
+    len: u64,
+    max_windows: usize,
+) -> Result<InspectOutcome, String> {
+    let suite = rfp_trace::suite();
+    let wi = suite
+        .iter()
+        .position(|w| w.name == name)
+        .ok_or_else(|| format!("unknown workload {name:?} (see `experiments` usage)"))?;
+
+    // The pool gives both passes the same memoized trace and §9.4 warm
+    // snapshot; Exact mode because the probe must observe the true
+    // trajectory (fork_probed forks exactly regardless, but keep the
+    // pool's own bookkeeping honest).
+    let pool = WarmPool::new(WarmMode::Exact, len);
+
+    // Pass 1: interval series → anomalous windows.
+    let (stats1, cpi_sink) = pool.fork_probed(cfg, &suite, wi, CpiStackSink::new());
+    let cpi = cpi_sink.into_report();
+    let anomalies = detect_anomalies(&cpi, stats1.retired_uops, max_windows);
+
+    if anomalies.is_empty() {
+        return Ok(InspectOutcome {
+            workload: name.to_string(),
+            measured_uops: stats1.retired_uops,
+            max_windows,
+            ring_evicted: 0,
+            windows: Vec::new(),
+        });
+    }
+
+    // Widen each window by the lead-in, clamped against its predecessor
+    // so the recorder's span list stays ascending and non-overlapping.
+    // `order[k]` maps ascending span index -> anomaly rank.
+    let mut order: Vec<usize> = (0..anomalies.len()).collect();
+    order.sort_by_key(|&r| anomalies[r].start_uop);
+    let mut spans: Vec<(u64, u64)> = Vec::with_capacity(order.len());
+    for &r in &order {
+        let w = &anomalies[r];
+        let floor = spans.last().map_or(0, |&(_, end)| end);
+        let start = w.start_uop.saturating_sub(INSPECT_LEAD_UOPS).max(floor);
+        spans.push((start, w.end_uop.max(start + 1)));
+    }
+    let cap = spans.iter().map(|&(s, e)| (e - s) as usize).sum::<usize>() + RING_SLACK;
+
+    // Pass 2: re-fork the same snapshot, record only those windows.
+    let (stats2, recorder) = pool.fork_probed(cfg, &suite, wi, FlightRecorder::new(&spans, cap));
+    check_no_perturbation(&stats1, &stats2)?;
+
+    let ring_evicted = recorder.evicted();
+    let mut per_span: Vec<Vec<UopRecord>> = vec![Vec::new(); spans.len()];
+    for r in recorder.into_records() {
+        per_span[r.window].push(r);
+    }
+    // Back to rank order (worst first).
+    let mut windows: Vec<Option<InspectedWindow>> = vec![None; anomalies.len()];
+    for (k, records) in per_span.into_iter().enumerate() {
+        let rank = order[k];
+        windows[rank] = Some(InspectedWindow {
+            anomaly: anomalies[rank].clone(),
+            span: spans[k],
+            records,
+        });
+    }
+
+    Ok(InspectOutcome {
+        workload: name.to_string(),
+        measured_uops: stats1.retired_uops,
+        max_windows,
+        ring_evicted,
+        windows: windows.into_iter().map(|w| w.expect("filled")).collect(),
+    })
+}
+
+fn check_no_perturbation(pass1: &CoreStats, pass2: &CoreStats) -> Result<(), String> {
+    if pass1 == pass2 {
+        Ok(())
+    } else {
+        Err(format!(
+            "flight recorder perturbed the simulation (pass 1 {} cycles / {} uops, \
+             pass 2 {} cycles / {} uops) — this is a bug",
+            pass1.cycles, pass1.retired_uops, pass2.cycles, pass2.retired_uops
+        ))
+    }
+}
+
+fn opt_cycle(c: Option<u64>) -> String {
+    c.map_or_else(|| "-".to_string(), |c| c.to_string())
+}
+
+fn span_len(a: Option<u64>, b: Option<u64>) -> String {
+    match (a, b) {
+        (Some(a), Some(b)) => b.saturating_sub(a).to_string(),
+        _ => "-".to_string(),
+    }
+}
+
+fn flush_label(kind: FlushKind) -> &'static str {
+    match kind {
+        FlushKind::ValueMispredict => "value-mispredict",
+        FlushKind::MemOrder => "mem-order",
+    }
+}
+
+impl InspectedWindow {
+    /// Cycle span `[first alloc, last observed cycle]` of the captured
+    /// records, `None` when the window caught nothing.
+    fn cycle_span(&self) -> Option<(u64, u64)> {
+        let first = self.records.first()?.alloc;
+        let last = self
+            .records
+            .iter()
+            .map(|r| {
+                r.retire
+                    .or(r.complete)
+                    .or(r.issue)
+                    .unwrap_or(r.alloc)
+                    .max(r.rfp_end.unwrap_or(0))
+            })
+            .max()?;
+        Some((first, last.max(first)))
+    }
+}
+
+impl InspectOutcome {
+    /// Textual report: the selection table plus a per-uop pipeline view
+    /// of the worst window.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pipeline inspection — {} ({} uops measured, {} window budget)",
+            self.workload, self.measured_uops, self.max_windows
+        );
+        if self.windows.is_empty() {
+            out.push_str(
+                "no anomalous windows: the interval series is flat or has fewer than \
+                 two active intervals (try a longer RFP_TRACE_LEN)\n",
+            );
+            return out;
+        }
+        if self.ring_evicted > 0 {
+            let _ = writeln!(
+                out,
+                "warning: ring evicted {} records (windows overflowed capacity)",
+                self.ring_evicted
+            );
+        }
+
+        out.push_str("\nselected windows (worst first):\n");
+        let mut t = TextTable::new(&[
+            "rank", "interval", "uops", "captured", "stall", "share", "dominant", "reasons",
+        ]);
+        for (rank, w) in self.windows.iter().enumerate() {
+            let a = &w.anomaly;
+            t.row(&[
+                &rank.to_string(),
+                &a.interval.to_string(),
+                &format!("{}..{}", w.span.0, w.span.1),
+                &w.records.len().to_string(),
+                &a.stall_slots.to_string(),
+                &pct(a.stall_share()),
+                a.dominant.label(),
+                &a.reasons.join(";"),
+            ]);
+        }
+        out.push_str(&t.render());
+
+        let worst = &self.windows[0];
+        let _ = writeln!(
+            out,
+            "\nworst window drill-down (interval {}, blocking resource: {}):",
+            worst.anomaly.interval,
+            worst.anomaly.dominant.label()
+        );
+        match worst.cycle_span() {
+            Some((lo, hi)) => {
+                let _ = writeln!(
+                    out,
+                    "{} uops captured over cycles {lo}..{hi}",
+                    worst.records.len()
+                );
+            }
+            None => {
+                out.push_str("no uops captured in the armed span\n");
+                return out;
+            }
+        }
+        let mut t = TextTable::new(&[
+            "seq", "pc", "class", "fetch", "alloc", "issue", "done", "retire", "F>A", "A>I", "I>C",
+            "C>R", "deps", "rfp",
+        ]);
+        for r in worst.records.iter().take(RENDER_MAX_ROWS) {
+            let deps: Vec<String> = r
+                .deps
+                .iter()
+                .flatten()
+                .map(|s| s.raw().to_string())
+                .collect();
+            let mut notes = r.rfp.map(|o| o.label()).unwrap_or_default();
+            if let Some((_, kind)) = r.flush {
+                if !notes.is_empty() {
+                    notes.push(' ');
+                }
+                notes.push_str("flush:");
+                notes.push_str(flush_label(kind));
+            }
+            t.row(&[
+                &r.seq.raw().to_string(),
+                &format!("{:#x}", r.pc.raw()),
+                r.class.label(),
+                &r.fetch.to_string(),
+                &r.alloc.to_string(),
+                &opt_cycle(r.issue),
+                &opt_cycle(r.complete),
+                &opt_cycle(r.retire),
+                &span_len(Some(r.fetch), Some(r.alloc)),
+                &span_len(Some(r.alloc), r.issue),
+                &span_len(r.issue, r.complete),
+                &span_len(r.complete, r.retire),
+                &deps.join(","),
+                &notes,
+            ]);
+        }
+        out.push_str(&t.render());
+        if worst.records.len() > RENDER_MAX_ROWS {
+            let _ = writeln!(out, "({} more)", worst.records.len() - RENDER_MAX_ROWS);
+        }
+        out
+    }
+
+    /// The whole outcome as a JSON document (hand-rolled like every other
+    /// JSON emitter in this workspace; `crate::parse_json` round-trips
+    /// it, which a unit test and the CI smoke step both check).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"workload\":\"{}\",\"measured_uops\":{},\"interval_uops\":{},\
+             \"max_windows\":{},\"lead_uops\":{},\"ring_evicted\":{},\"windows\":[",
+            json_escape(&self.workload),
+            self.measured_uops,
+            1u64 << rfp_stats::CPI_INTERVAL_SHIFT,
+            self.max_windows,
+            INSPECT_LEAD_UOPS,
+            self.ring_evicted,
+        );
+        for (rank, w) in self.windows.iter().enumerate() {
+            if rank > 0 {
+                out.push(',');
+            }
+            let a = &w.anomaly;
+            let _ = write!(
+                out,
+                "{{\"rank\":{rank},\"interval\":{},\"start_uop\":{},\"end_uop\":{},\
+                 \"span_start\":{},\"span_end\":{},\"stall_slots\":{},\"total_slots\":{},\
+                 \"stall_share\":{:.6},\"dominant\":\"{}\",\"reasons\":[",
+                a.interval,
+                a.start_uop,
+                a.end_uop,
+                w.span.0,
+                w.span.1,
+                a.stall_slots,
+                a.total_slots,
+                a.stall_share(),
+                a.dominant.label(),
+            );
+            for (i, reason) in a.reasons.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", json_escape(reason));
+            }
+            let _ = write!(out, "],\"captured_uops\":{},\"uops\":[", w.records.len());
+            for (i, r) in w.records.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&record_json(r));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// The captured windows as a Konata `Kanata 0004` pipeline log.
+    ///
+    /// Lane 0 carries the uop's own stages (`F` fetch, `Ds`
+    /// dispatch/wait, `X` execute, `Cm` completed-to-retire); lane 1
+    /// carries the RFP packet's life (`Pf`, inject → resolve/drop) on the
+    /// owning load's row. `W` wake-up edges are drawn for dependency
+    /// producers that were captured too.
+    pub fn to_konata(&self) -> String {
+        // (cycle, lines) events; stable sort keeps per-record emission
+        // order within a cycle.
+        let mut events: Vec<(u64, String)> = Vec::new();
+        let mut records: Vec<&UopRecord> = self.windows.iter().flat_map(|w| &w.records).collect();
+        records.sort_by_key(|r| r.seq.raw());
+        let id_of = |seq: rfp_types::SeqNum| -> Option<usize> {
+            records
+                .binary_search_by_key(&seq.raw(), |r| r.seq.raw())
+                .ok()
+        };
+        let mut retire_id = 0u64;
+        for (id, r) in records.iter().enumerate() {
+            events.push((
+                r.fetch,
+                format!(
+                    "I\t{id}\t{}\t0\nL\t{id}\t0\t{:#x} {}\nS\t{id}\t0\tF",
+                    r.seq.raw(),
+                    r.pc.raw(),
+                    r.class.label()
+                ),
+            ));
+            let mut tip = format!("seq {} window {}", r.seq.raw(), r.window);
+            if let Some(o) = r.rfp {
+                let _ = write!(tip, " rfp {}", o.label());
+            }
+            if let Some(l) = r.level {
+                let _ = write!(tip, " mem-tier {l}");
+            }
+            if r.forwarded {
+                tip.push_str(" fwd");
+            }
+            if r.reissues > 0 {
+                let _ = write!(tip, " reissues {}", r.reissues);
+            }
+            events.push((r.fetch, format!("L\t{id}\t1\t{tip}")));
+            events.push((r.alloc, format!("E\t{id}\t0\tF\nS\t{id}\t0\tDs")));
+            for dep in r.deps.iter().flatten() {
+                if let Some(pid) = id_of(*dep) {
+                    events.push((r.alloc, format!("W\t{id}\t{pid}\t0")));
+                }
+            }
+            if let Some(issue) = r.issue {
+                events.push((issue, format!("E\t{id}\t0\tDs\nS\t{id}\t0\tX")));
+            }
+            if let Some(done) = r.complete {
+                events.push((done, format!("E\t{id}\t0\tX\nS\t{id}\t0\tCm")));
+            }
+            if let Some((inject, _)) = r.rfp_inject {
+                let end = r.rfp_end.or(r.rfp_complete).unwrap_or(inject).max(inject);
+                events.push((inject, format!("S\t{id}\t1\tPf")));
+                events.push((end, format!("E\t{id}\t1\tPf")));
+            }
+            match r.retire {
+                Some(ret) => {
+                    retire_id += 1;
+                    events.push((ret, format!("E\t{id}\t0\tCm\nR\t{id}\t{retire_id}\t0")));
+                }
+                None => {
+                    // Squashed or still in flight when capture stopped.
+                    let last = r
+                        .complete
+                        .or(r.issue)
+                        .unwrap_or(r.alloc)
+                        .max(r.flush.map_or(0, |(c, _)| c));
+                    events.push((last, format!("R\t{id}\t0\t1")));
+                }
+            }
+        }
+        events.sort_by_key(|&(c, _)| c);
+
+        let mut out = String::from("Kanata\t0004\n");
+        let mut clock: Option<u64> = None;
+        for (cycle, lines) in events {
+            match clock {
+                None => {
+                    let _ = writeln!(out, "C=\t{cycle}");
+                }
+                Some(prev) if cycle > prev => {
+                    let _ = writeln!(out, "C\t{}", cycle - prev);
+                }
+                _ => {}
+            }
+            clock = Some(cycle);
+            out.push_str(&lines);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn opt_json(c: Option<u64>) -> String {
+    c.map_or_else(|| "null".to_string(), |c| c.to_string())
+}
+
+fn record_json(r: &UopRecord) -> String {
+    let mut out = String::new();
+    let deps: Vec<String> = r
+        .deps
+        .iter()
+        .flatten()
+        .map(|s| s.raw().to_string())
+        .collect();
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"pc\":\"{:#x}\",\"class\":\"{}\",\"fetch\":{},\"alloc\":{},\
+         \"issue\":{},\"complete\":{},\"retire\":{},\"deps\":[{}],\"reissues\":{}",
+        r.seq.raw(),
+        r.pc.raw(),
+        r.class.label(),
+        r.fetch,
+        r.alloc,
+        opt_json(r.issue),
+        opt_json(r.complete),
+        opt_json(r.retire),
+        deps.join(","),
+        r.reissues,
+    );
+    if let Some(l) = r.level {
+        let _ = write!(out, ",\"mem_tier\":{l}");
+    }
+    if r.forwarded {
+        out.push_str(",\"forwarded\":true");
+    }
+    if let Some((cycle, kind)) = r.flush {
+        let _ = write!(
+            out,
+            ",\"flush\":{{\"cycle\":{cycle},\"kind\":\"{}\"}}",
+            flush_label(kind)
+        );
+    }
+    if let Some((inject, addr)) = r.rfp_inject {
+        let _ = write!(
+            out,
+            ",\"rfp\":{{\"inject\":{inject},\"addr\":\"{:#x}\",\"complete\":{},\"end\":{},\"outcome\":{}}}",
+            addr.raw(),
+            opt_json(r.rfp_complete),
+            opt_json(r.rfp_end),
+            r.rfp
+                .map_or_else(|| "null".to_string(), |o| format!("\"{}\"", o.label())),
+        );
+    } else if let Some(o) = r.rfp {
+        // Not-predicted loads have an outcome but no packet span.
+        let _ = write!(out, ",\"rfp\":{{\"outcome\":\"{}\"}}", o.label());
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_outcome() -> InspectOutcome {
+        let cfg = CoreConfig::tiger_lake().with_rfp();
+        inspect_workload("spec17_mcf", &cfg, 24_576, 2).expect("known workload")
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let cfg = CoreConfig::tiger_lake();
+        let err = inspect_workload("nope", &cfg, 4096, 2).unwrap_err();
+        assert!(err.contains("unknown workload"), "{err}");
+    }
+
+    #[test]
+    fn two_pass_flow_captures_windows_and_renders() {
+        let o = small_outcome();
+        assert!(!o.windows.is_empty(), "24k uops should yield a window");
+        assert!(o.windows[0].records.len() > 0, "worst window captured uops");
+        // Worst first.
+        for pair in o.windows.windows(2) {
+            assert!(pair[0].anomaly.stall_slots >= pair[1].anomaly.stall_slots);
+        }
+        let text = o.render();
+        assert!(text.contains("worst window drill-down"), "{text}");
+    }
+
+    #[test]
+    fn json_round_trips_through_the_diff_parser() {
+        let o = small_outcome();
+        let doc = o.to_json();
+        assert!(doc.ends_with("}\n"));
+        let parsed = crate::parse_json(&doc).expect("inspect JSON parses");
+        let flat = crate::flatten(&parsed);
+        assert!(flat.keys().any(|k| k.contains("windows")), "{flat:?}");
+    }
+
+    #[test]
+    fn konata_log_is_structurally_valid() {
+        let o = small_outcome();
+        let k = o.to_konata();
+        let mut lines = k.lines();
+        assert_eq!(lines.next(), Some("Kanata\t0004"));
+        assert!(k.lines().count() > 4, "log carries records");
+        let mut saw_retire = false;
+        for line in lines {
+            let kind = line.split('\t').next().unwrap();
+            assert!(
+                matches!(kind, "C=" | "C" | "I" | "L" | "S" | "E" | "R" | "W"),
+                "unexpected Kanata record {line:?}"
+            );
+            saw_retire |= kind == "R";
+        }
+        assert!(saw_retire, "at least one instruction reached a terminal R");
+    }
+
+    #[test]
+    fn inspect_is_deterministic_across_repeat_runs() {
+        let a = small_outcome();
+        let b = small_outcome();
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_konata(), b.to_konata());
+    }
+}

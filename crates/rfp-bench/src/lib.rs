@@ -20,6 +20,7 @@
 
 mod diff;
 mod engine;
+mod inspect;
 
 use std::collections::{HashMap, HashSet};
 
@@ -37,11 +38,13 @@ pub use diff::{
     diff_metrics, diff_metrics_with, flatten, parse_json, DiffOutcome, Json, Violation,
 };
 pub use engine::{
-    build_sample_plan, config_key, default_threads, env_parsed, run_grid, run_grid_full,
-    run_grid_obs, run_grid_pooled, telemetry_jsonl, trace_len_from_env, update_bench_json,
-    warm_key, warm_projection, warm_twin, GridOutcome, JobTelemetry, SamplePhase, SamplePlan,
-    SimMode, WarmMode, WarmPool, WarmPoolStats, SAMPLE_INTERVAL_UOPS, SAMPLE_WARM_PREFIX,
+    build_sample_plan, config_key, default_threads, env_parsed, inspect_windows_from_env, run_grid,
+    run_grid_full, run_grid_obs, run_grid_pooled, telemetry_jsonl, trace_len_from_env,
+    update_bench_json, warm_key, warm_projection, warm_twin, GridOutcome, JobTelemetry,
+    SamplePhase, SamplePlan, SimMode, WarmMode, WarmPool, WarmPoolStats, SAMPLE_INTERVAL_UOPS,
+    SAMPLE_WARM_PREFIX,
 };
+pub use inspect::{inspect_workload, InspectOutcome, INSPECT_LEAD_UOPS};
 
 /// Default measured trace length per workload (after an equal warmup).
 pub const DEFAULT_TRACE_LEN: u64 = 120_000;

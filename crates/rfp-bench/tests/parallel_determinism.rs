@@ -528,3 +528,122 @@ fn projection_normalizes_only_provably_inert_fields() {
     assert_eq!(p.rob_entries, base.rob_entries);
     assert_eq!(p.mem, base.mem);
 }
+
+#[test]
+fn anomaly_window_selection_is_identical_across_threads_and_probes() {
+    // The flight recorder is armed by windows picked from the CPI
+    // interval series; that selection must be byte-identical no matter
+    // how many threads produced the series or which probe configuration
+    // ran alongside it — otherwise `experiments inspect` would record
+    // different uops on different machines.
+    // The detector needs >= 2 active 8192-uop intervals, so this test
+    // runs longer traces than the rest of the file.
+    const INSPECT_LEN: u64 = 20_000;
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let suite = rfp_trace::suite();
+    let select = |reports: &[SimReport]| -> String {
+        reports
+            .iter()
+            .map(|r| {
+                let cpi = r.cpi.as_ref().expect("cpi attached");
+                format!(
+                    "{}: {:?}\n",
+                    r.workload,
+                    rfp_stats::detect_anomalies(cpi, r.stats.retired_uops, 4)
+                )
+            })
+            .collect()
+    };
+    let reference = select(
+        &run_grid_obs(std::slice::from_ref(&cfg), INSPECT_LEN, 1)
+            .pop()
+            .expect("one row"),
+    );
+    assert!(
+        reference.contains("AnomalyWindow"),
+        "the suite must yield at least one anomalous window:\n{reference}"
+    );
+    for threads in [2, 8] {
+        let got = select(
+            &run_grid_obs(std::slice::from_ref(&cfg), INSPECT_LEN, threads)
+                .pop()
+                .expect("one row"),
+        );
+        assert_eq!(got, reference, "threads={threads} selection diverged");
+    }
+    // Probe-configuration independence: the same windows fall out of a
+    // bare CpiStackSink fork (the `inspect` pass-1 path, no tee'd
+    // metrics/profile sinks) as out of the full obs grid.
+    let pool = WarmPool::new(WarmMode::Exact, INSPECT_LEN);
+    let lone: String = suite
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| {
+            let (stats, sink) = pool.fork_probed(&cfg, &suite, wi, rfp_obs::CpiStackSink::new());
+            format!(
+                "{}: {:?}\n",
+                w.name,
+                rfp_stats::detect_anomalies(&sink.into_report(), stats.retired_uops, 4)
+            )
+        })
+        .collect();
+    assert_eq!(lone, reference, "probe configuration changed the selection");
+}
+
+#[test]
+fn flight_recorder_does_not_perturb_the_simulation() {
+    // Recorder armed over the whole measured region vs no probe at all:
+    // every deterministic counter must match (the recorder is a sink,
+    // never back-pressure), and the capture itself must be intact.
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let suite = rfp_trace::suite();
+    let pool = WarmPool::new(WarmMode::Exact, LEN);
+    for wi in [0, 17, 42] {
+        let w = &suite[wi];
+        let plain = simulate_workload(&cfg, w, LEN).expect("valid config");
+        let rec = rfp_obs::FlightRecorder::new(&[(0, LEN)], LEN as usize + 64);
+        let (stats, rec) = pool.fork_probed(&cfg, &suite, wi, rec);
+        assert_eq!(
+            stats, plain.stats,
+            "{} diverged under the flight recorder",
+            w.name
+        );
+        assert_eq!(rec.evicted(), 0, "ring sized for the whole region");
+        let records = rec.into_records();
+        assert!(!records.is_empty(), "{} captured nothing", w.name);
+        assert!(
+            records.windows(2).all(|p| p[0].seq < p[1].seq),
+            "records must stay in sequence order"
+        );
+    }
+}
+
+#[test]
+fn flight_recorder_ring_wraps_without_corruption_on_a_real_run() {
+    // Tiny ring on a full workload: old records evict, survivors keep
+    // coherent lifecycles (alloc <= issue <= complete <= retire), and the
+    // simulation still doesn't notice the recorder.
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let suite = rfp_trace::suite();
+    let pool = WarmPool::new(WarmMode::Exact, LEN);
+    let cap = 64;
+    let rec = rfp_obs::FlightRecorder::new(&[(0, LEN)], cap);
+    let plain = simulate_workload(&cfg, &suite[0], LEN).expect("valid config");
+    let (stats, rec) = pool.fork_probed(&cfg, &suite, 0, rec);
+    assert_eq!(stats, plain.stats, "tiny ring perturbed the run");
+    assert!(
+        rec.evicted() > 0,
+        "the window must overflow a 64-entry ring"
+    );
+    let records = rec.into_records();
+    assert_eq!(records.len(), cap, "ring stays exactly at capacity");
+    for r in &records {
+        assert!(r.fetch <= r.alloc, "fetch after alloc: {r:?}");
+        if let (Some(i), Some(c)) = (r.issue, r.complete) {
+            assert!(r.alloc <= i && i <= c, "stage order corrupted: {r:?}");
+        }
+        if let (Some(c), Some(ret)) = (r.complete, r.retire) {
+            assert!(c <= ret, "retire before complete: {r:?}");
+        }
+    }
+}

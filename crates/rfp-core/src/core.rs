@@ -1851,6 +1851,20 @@ impl<P: Probe> Core<P> {
             .iter()
             .flatten()
             .all(|p| self.preg_actual[p.index()] <= now);
+        if P::ENABLED {
+            // Rename detail for the flight recorder: the renamed operand
+            // mappings let a sink reconstruct exact producer→consumer
+            // edges without the core carrying any extra state.
+            self.probe.emit(
+                now,
+                ProbeEvent::Dispatch {
+                    seq,
+                    fetch: fetch_cycle,
+                    src_phys: inst.src_phys,
+                    dst_phys: inst.dst_phys,
+                },
+            );
+        }
 
         self.rs_used += 1;
         match uop.kind {

@@ -91,6 +91,10 @@ pub struct DlvpInfo {
     pub probe_success: bool,
 }
 
+// `ProbeEvent::Dispatch` carries `src_phys` verbatim; `rfp-obs` sits below
+// `rfp-trace` and mirrors the width, so keep the two constants in lockstep.
+const _: () = assert!(rfp_trace::MAX_SRCS == rfp_obs::PROBE_MAX_SRCS);
+
 /// A dynamic instruction in the window.
 #[derive(Debug, Clone)]
 pub struct DynInst {

@@ -215,6 +215,9 @@ impl Probe for ChromeTraceSink {
                 self.instant(1, self.lane(seq.raw()), name, cycle, args);
             }
             ProbeEvent::SchedReissue { .. } => {}
+            // Rename detail rides the flight recorder, not the Chrome
+            // timeline: the Alloc slice already marks this cycle.
+            ProbeEvent::Dispatch { .. } => {}
             ProbeEvent::RfpInject { seq, addr, .. } => {
                 self.rfp.insert(
                     seq.raw(),

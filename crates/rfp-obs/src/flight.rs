@@ -1,0 +1,576 @@
+//! The anomaly-triggered pipeline flight recorder.
+//!
+//! [`FlightRecorder`] is a bounded ring-buffer [`Probe`] sink that
+//! captures the *full* per-uop lifecycle — fetch/rename/issue/writeback/
+//! retire cycles, renamed dependency edges, and the RFP lifecycle joined
+//! onto the owning load — but only for micro-ops allocated inside
+//! caller-supplied **capture windows** (half-open ranges of retired
+//! micro-ops since the stats reset, the same epoch clock the CPI interval
+//! series uses). Outside a window the sink's per-event work is a handful
+//! of integer compares and one table write, so steady-state cost stays
+//! negligible; with [`NoopProbe`](crate::NoopProbe) the call sites
+//! monomorphize away entirely and the cost is zero.
+//!
+//! The recorder is strictly read-only with respect to the simulation
+//! (it is a sink like every other probe), which
+//! `tests/parallel_determinism.rs` enforces by comparing stats against
+//! an unprobed run.
+
+use std::collections::VecDeque;
+
+use rfp_types::{Addr, Cycle, Pc, SeqNum};
+
+use crate::{DropReason, FlushKind, PredictMiss, Probe, ProbeEvent, UopClass, PROBE_MAX_SRCS};
+
+/// Terminal RFP outcome of a captured load, condensed from the
+/// prefetch-lifecycle events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RfpOutcome {
+    /// Consumed, and the data was ready by load issue + 1 (§5.2.2 fully
+    /// hidden).
+    UsefulHidden,
+    /// Consumed, but too late to hide the full latency.
+    UsefulLate,
+    /// The load issued and rejected the prefetch (wrong address or stale
+    /// data).
+    Rejected,
+    /// The packet died before the load could judge it.
+    Dropped(DropReason),
+    /// The predictors produced no address for this load.
+    NotPredicted(PredictMiss),
+}
+
+impl RfpOutcome {
+    /// Kebab-case label for tables and JSON.
+    pub fn label(self) -> String {
+        match self {
+            RfpOutcome::UsefulHidden => "useful-hidden".to_string(),
+            RfpOutcome::UsefulLate => "useful-late".to_string(),
+            RfpOutcome::Rejected => "rejected".to_string(),
+            RfpOutcome::Dropped(r) => format!("dropped:{}", r.label()),
+            RfpOutcome::NotPredicted(k) => format!("not-predicted:{}", k.label()),
+        }
+    }
+}
+
+/// The captured lifecycle of one micro-op.
+///
+/// Cycles are absolute simulated cycles. Stage fields that the window
+/// never observed (the uop was still in flight when recording stopped,
+/// or it was squashed) stay `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UopRecord {
+    /// Program-order sequence number.
+    pub seq: SeqNum,
+    /// Program counter.
+    pub pc: Pc,
+    /// Micro-op class.
+    pub class: UopClass,
+    /// Index (into the recorder's sorted window list) of the window this
+    /// record was captured in.
+    pub window: usize,
+    /// Cycle the uop was fetched.
+    pub fetch: Cycle,
+    /// Cycle the uop was renamed/dispatched into the window.
+    pub alloc: Cycle,
+    /// Producer sequence numbers of the renamed source operands.
+    pub deps: [Option<SeqNum>; PROBE_MAX_SRCS],
+    /// Cycle execution (AGU for memory ops) started.
+    pub issue: Option<Cycle>,
+    /// Cycle the result was written back.
+    pub complete: Option<Cycle>,
+    /// Serving memory tier index for loads.
+    pub level: Option<u8>,
+    /// The load was served by store-to-load forwarding.
+    pub forwarded: bool,
+    /// Cycle the uop retired.
+    pub retire: Option<Cycle>,
+    /// A flush was raised *at* this uop (value mispredict / memory
+    /// ordering), with its cycle.
+    pub flush: Option<(Cycle, FlushKind)>,
+    /// Speculative wakeups cancelled by the scoreboard.
+    pub reissues: u32,
+    /// RFP packet injection (cycle, predicted address), for loads that
+    /// got one.
+    pub rfp_inject: Option<(Cycle, Addr)>,
+    /// Cycle the prefetched data landed (or would have landed) in the
+    /// physical register.
+    pub rfp_complete: Option<Cycle>,
+    /// Cycle the packet's life ended (resolve or drop event).
+    pub rfp_end: Option<Cycle>,
+    /// Terminal RFP outcome.
+    pub rfp: Option<RfpOutcome>,
+}
+
+impl UopRecord {
+    fn new(seq: SeqNum, pc: Pc, class: UopClass, window: usize, alloc: Cycle) -> Self {
+        UopRecord {
+            seq,
+            pc,
+            class,
+            window,
+            // Overwritten by the Dispatch event in the same cycle.
+            fetch: alloc,
+            alloc,
+            deps: [None; PROBE_MAX_SRCS],
+            issue: None,
+            complete: None,
+            level: None,
+            forwarded: false,
+            retire: None,
+            flush: None,
+            reissues: 0,
+            rfp_inject: None,
+            rfp_complete: None,
+            rfp_end: None,
+            rfp: None,
+        }
+    }
+}
+
+/// Bounded ring-buffer sink capturing per-uop lifecycles inside
+/// anomalous windows (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use rfp_obs::{FlightRecorder, Probe, ProbeEvent, UopClass};
+/// use rfp_types::{Pc, SeqNum};
+///
+/// // One window covering the first 100 retired uops, ring of 4.
+/// let mut rec = FlightRecorder::new(&[(0, 100)], 4);
+/// rec.emit(5, ProbeEvent::Alloc {
+///     seq: SeqNum::new(0),
+///     pc: Pc::new(0x400100),
+///     class: UopClass::Alu,
+/// });
+/// assert_eq!(rec.records().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    /// Capture windows, ascending and non-overlapping, in retired-uop
+    /// space since the stats reset.
+    windows: Vec<(u64, u64)>,
+    cap: usize,
+    ring: VecDeque<UopRecord>,
+    evicted: u64,
+    /// Retired micro-ops since the last reset — the arming clock, kept
+    /// exactly like `CpiStackSink`'s interval epoch clock.
+    retired_uops: u64,
+    /// First window whose end lies beyond the clock.
+    cursor: usize,
+    /// Last dispatched writer of each physical register: the rename-time
+    /// dependency oracle. Never cleared on reset — rename state persists
+    /// across the warmup boundary.
+    writers: Vec<Option<SeqNum>>,
+}
+
+impl FlightRecorder {
+    /// A recorder armed inside `windows` (half-open `[start, end)`
+    /// retired-uop ranges, which must be ascending and non-overlapping),
+    /// holding at most `cap` records — when full, the oldest record is
+    /// evicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap` is zero or `windows` are unsorted/overlapping.
+    pub fn new(windows: &[(u64, u64)], cap: usize) -> Self {
+        assert!(cap > 0, "flight recorder ring needs capacity");
+        for pair in windows.windows(2) {
+            assert!(
+                pair[0].1 <= pair[1].0,
+                "capture windows must be ascending and non-overlapping"
+            );
+        }
+        assert!(
+            windows.iter().all(|&(s, e)| s < e),
+            "capture windows must be non-empty"
+        );
+        FlightRecorder {
+            windows: windows.to_vec(),
+            cap,
+            ring: VecDeque::with_capacity(cap.min(4096)),
+            evicted: 0,
+            retired_uops: 0,
+            cursor: 0,
+            writers: Vec::new(),
+        }
+    }
+
+    /// The captured records, oldest first (sequence order).
+    pub fn records(&self) -> &VecDeque<UopRecord> {
+        &self.ring
+    }
+
+    /// Consumes the recorder, returning captured records in sequence
+    /// order.
+    pub fn into_records(self) -> Vec<UopRecord> {
+        self.ring.into()
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Micro-ops retired since the last stats reset (the arming clock).
+    pub fn retired_uops(&self) -> u64 {
+        self.retired_uops
+    }
+
+    /// The window index the clock currently sits in, if armed.
+    fn armed_window(&self) -> Option<usize> {
+        let &(start, _) = self.windows.get(self.cursor)?;
+        (self.retired_uops >= start).then_some(self.cursor)
+    }
+
+    fn record_mut(&mut self, seq: SeqNum) -> Option<&mut UopRecord> {
+        // Allocs arrive in increasing sequence order, so the ring is
+        // sorted by `seq` and joins are a binary search. Joins apply to
+        // records from *closed* windows too: a uop captured late in a
+        // window retires after the window ends, and its lifecycle should
+        // still complete.
+        let i = self.ring.binary_search_by(|r| r.seq.cmp(&seq)).ok()?;
+        self.ring.get_mut(i)
+    }
+}
+
+impl Probe for FlightRecorder {
+    const ENABLED: bool = true;
+
+    fn emit(&mut self, cycle: Cycle, event: ProbeEvent) {
+        match event {
+            ProbeEvent::Alloc { seq, pc, class } => {
+                let Some(window) = self.armed_window() else {
+                    return;
+                };
+                if self.ring.len() == self.cap {
+                    self.ring.pop_front();
+                    self.evicted += 1;
+                }
+                self.ring
+                    .push_back(UopRecord::new(seq, pc, class, window, cycle));
+            }
+            ProbeEvent::Dispatch {
+                seq,
+                fetch,
+                src_phys,
+                dst_phys,
+            } => {
+                // Resolve sources against the writer table *before*
+                // registering the destination, so a uop that reads and
+                // writes the same register depends on the prior writer,
+                // not itself.
+                let mut deps = [None; PROBE_MAX_SRCS];
+                for (slot, src) in deps.iter_mut().zip(src_phys) {
+                    if let Some(p) = src {
+                        *slot = self.writers.get(p.index()).copied().flatten();
+                    }
+                }
+                if let Some(d) = dst_phys {
+                    if d.index() >= self.writers.len() {
+                        self.writers.resize(d.index() + 1, None);
+                    }
+                    self.writers[d.index()] = Some(seq);
+                }
+                if let Some(r) = self.record_mut(seq) {
+                    r.fetch = fetch;
+                    r.deps = deps;
+                }
+            }
+            ProbeEvent::Execute {
+                seq,
+                issue,
+                complete,
+                level,
+                forwarded,
+                ..
+            } => {
+                if let Some(r) = self.record_mut(seq) {
+                    // Re-executions after a flush overwrite: the record
+                    // keeps the trajectory that actually retired.
+                    r.issue = Some(issue);
+                    r.complete = Some(complete);
+                    r.level = level;
+                    r.forwarded = forwarded;
+                }
+            }
+            ProbeEvent::Retire { seq } => {
+                if let Some(r) = self.record_mut(seq) {
+                    r.retire = Some(cycle);
+                }
+            }
+            ProbeEvent::Flush { seq, kind } => {
+                if let Some(r) = self.record_mut(seq) {
+                    r.flush = Some((cycle, kind));
+                }
+            }
+            ProbeEvent::SchedReissue { seq } => {
+                if let Some(r) = self.record_mut(seq) {
+                    r.reissues += 1;
+                }
+            }
+            ProbeEvent::RfpInject { seq, addr, .. } => {
+                if let Some(r) = self.record_mut(seq) {
+                    r.rfp_inject = Some((cycle, addr));
+                }
+            }
+            ProbeEvent::RfpExecute { seq, complete, .. } => {
+                if let Some(r) = self.record_mut(seq) {
+                    r.rfp_complete = Some(complete);
+                }
+            }
+            ProbeEvent::RfpResolve {
+                seq,
+                useful,
+                fully_hidden,
+                rfp_complete,
+                ..
+            } => {
+                if let Some(r) = self.record_mut(seq) {
+                    r.rfp_complete = Some(rfp_complete);
+                    r.rfp_end = Some(cycle);
+                    r.rfp = Some(match (useful, fully_hidden) {
+                        (true, true) => RfpOutcome::UsefulHidden,
+                        (true, false) => RfpOutcome::UsefulLate,
+                        (false, _) => RfpOutcome::Rejected,
+                    });
+                }
+            }
+            ProbeEvent::RfpDrop { seq, reason, .. } => {
+                if let Some(r) = self.record_mut(seq) {
+                    r.rfp_end = Some(cycle);
+                    r.rfp = Some(RfpOutcome::Dropped(reason));
+                }
+            }
+            ProbeEvent::RfpNotPredicted { seq, kind, .. } => {
+                if let Some(r) = self.record_mut(seq) {
+                    r.rfp = Some(RfpOutcome::NotPredicted(kind));
+                }
+            }
+            ProbeEvent::RetireSlots { retired, .. } => {
+                self.retired_uops += retired as u64;
+                while self
+                    .windows
+                    .get(self.cursor)
+                    .is_some_and(|&(_, end)| self.retired_uops >= end)
+                {
+                    self.cursor += 1;
+                }
+            }
+            ProbeEvent::StatsReset => {
+                // Warmup boundary: windows are measured-window ranges, so
+                // anything captured before the reset belongs to warmup.
+                self.ring.clear();
+                self.evicted = 0;
+                self.retired_uops = 0;
+                self.cursor = 0;
+            }
+            ProbeEvent::MemAccess { .. } | ProbeEvent::PortDenied { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfp_types::PhysReg;
+
+    fn alloc(seq: u64, pc: u64) -> ProbeEvent {
+        ProbeEvent::Alloc {
+            seq: SeqNum::new(seq),
+            pc: Pc::new(pc),
+            class: UopClass::Alu,
+        }
+    }
+
+    fn dispatch(seq: u64, fetch: Cycle, srcs: &[u16], dst: Option<u16>) -> ProbeEvent {
+        let mut src_phys = [None; PROBE_MAX_SRCS];
+        for (slot, &p) in src_phys.iter_mut().zip(srcs) {
+            *slot = Some(PhysReg::new(p));
+        }
+        ProbeEvent::Dispatch {
+            seq: SeqNum::new(seq),
+            fetch,
+            src_phys,
+            dst_phys: dst.map(PhysReg::new),
+        }
+    }
+
+    fn retire_slots(retired: u8) -> ProbeEvent {
+        ProbeEvent::RetireSlots {
+            width: 5,
+            retired,
+            rfp_hidden: 0,
+            stall: rfp_stats::CpiBucket::Retiring,
+            head_pc: None,
+        }
+    }
+
+    #[test]
+    fn captures_only_inside_windows() {
+        let mut rec = FlightRecorder::new(&[(2, 4)], 16);
+        rec.emit(1, alloc(0, 0x10)); // clock 0: disarmed
+        rec.emit(1, retire_slots(2)); // clock -> 2: armed
+        rec.emit(2, alloc(1, 0x14));
+        rec.emit(3, retire_slots(2)); // clock -> 4: window closed
+        rec.emit(4, alloc(2, 0x18));
+        let seqs: Vec<u64> = rec.records().iter().map(|r| r.seq.raw()).collect();
+        assert_eq!(seqs, [1]);
+        assert_eq!(rec.records()[0].window, 0);
+    }
+
+    #[test]
+    fn ring_wraparound_evicts_oldest_without_corruption() {
+        let mut rec = FlightRecorder::new(&[(0, 1000)], 3);
+        for s in 0..7u64 {
+            rec.emit(s, alloc(s, 0x100 + 4 * s));
+            rec.emit(s, dispatch(s, s.saturating_sub(1), &[], Some(s as u16)));
+        }
+        assert_eq!(rec.evicted(), 4);
+        let records: Vec<&UopRecord> = rec.records().iter().collect();
+        assert_eq!(records.len(), 3);
+        // Oldest evicted, survivors intact and still joinable.
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq.raw()).collect();
+        assert_eq!(seqs, [4, 5, 6]);
+        for r in &records {
+            assert_eq!(r.pc.raw(), 0x100 + 4 * r.seq.raw(), "payload corrupted");
+            assert_eq!(r.fetch, r.seq.raw() - 1, "dispatch join corrupted");
+        }
+        // Joins to evicted seqs are ignored; to survivors they apply.
+        rec.emit(
+            9,
+            ProbeEvent::Retire {
+                seq: SeqNum::new(0),
+            },
+        );
+        rec.emit(
+            9,
+            ProbeEvent::Retire {
+                seq: SeqNum::new(5),
+            },
+        );
+        let r5 = rec
+            .records()
+            .iter()
+            .find(|r| r.seq.raw() == 5)
+            .expect("in ring");
+        assert_eq!(r5.retire, Some(9));
+    }
+
+    #[test]
+    fn dependency_edges_resolve_through_the_writer_table() {
+        let mut rec = FlightRecorder::new(&[(0, 1000)], 8);
+        // seq 0 writes p7 before any window capture matters.
+        rec.emit(0, alloc(0, 0x10));
+        rec.emit(0, dispatch(0, 0, &[], Some(7)));
+        // seq 1 reads p7 and overwrites it: dep on 0, not itself.
+        rec.emit(1, alloc(1, 0x14));
+        rec.emit(1, dispatch(1, 0, &[7], Some(7)));
+        // seq 2 reads the new p7: dep on 1.
+        rec.emit(2, alloc(2, 0x18));
+        rec.emit(2, dispatch(2, 1, &[7, 3], None));
+        let deps: Vec<_> = rec.records().iter().map(|r| r.deps).collect();
+        assert_eq!(deps[1][0], Some(SeqNum::new(0)));
+        assert_eq!(deps[2][0], Some(SeqNum::new(1)));
+        assert_eq!(deps[2][1], None, "p3 never written: no producer");
+    }
+
+    #[test]
+    fn joins_complete_lifecycles_after_the_window_closes() {
+        let mut rec = FlightRecorder::new(&[(0, 2)], 8);
+        rec.emit(1, alloc(0, 0x10));
+        rec.emit(2, retire_slots(2)); // window closes
+        rec.emit(3, alloc(1, 0x14)); // not captured
+        rec.emit(
+            4,
+            ProbeEvent::Execute {
+                seq: SeqNum::new(0),
+                pc: Pc::new(0x10),
+                class: UopClass::Alu,
+                issue: 4,
+                complete: 6,
+                level: None,
+                forwarded: false,
+            },
+        );
+        rec.emit(
+            7,
+            ProbeEvent::Retire {
+                seq: SeqNum::new(0),
+            },
+        );
+        assert_eq!(rec.records().len(), 1);
+        let r = rec.records()[0];
+        assert_eq!(r.issue, Some(4));
+        assert_eq!(r.complete, Some(6));
+        assert_eq!(r.retire, Some(7));
+    }
+
+    #[test]
+    fn stats_reset_restarts_the_clock_and_drops_warmup_records() {
+        let mut rec = FlightRecorder::new(&[(0, 4)], 8);
+        rec.emit(1, alloc(0, 0x10));
+        rec.emit(2, retire_slots(5)); // clock -> 5: past the window
+        rec.emit(3, ProbeEvent::StatsReset);
+        assert_eq!(rec.records().len(), 0);
+        assert_eq!(rec.retired_uops(), 0);
+        rec.emit(4, alloc(1, 0x14)); // armed again after reset
+        assert_eq!(rec.records().len(), 1);
+    }
+
+    #[test]
+    fn rfp_lifecycle_joins_onto_the_load() {
+        let mut rec = FlightRecorder::new(&[(0, 100)], 8);
+        rec.emit(
+            1,
+            ProbeEvent::Alloc {
+                seq: SeqNum::new(0),
+                pc: Pc::new(0x40),
+                class: UopClass::Load,
+            },
+        );
+        rec.emit(
+            1,
+            ProbeEvent::RfpInject {
+                seq: SeqNum::new(0),
+                pc: Pc::new(0x40),
+                addr: Addr::new(0x1000),
+            },
+        );
+        rec.emit(
+            3,
+            ProbeEvent::RfpExecute {
+                seq: SeqNum::new(0),
+                pc: Pc::new(0x40),
+                addr: Addr::new(0x1000),
+                complete: 8,
+                level: 0,
+                queued_for: 2,
+            },
+        );
+        rec.emit(
+            10,
+            ProbeEvent::RfpResolve {
+                seq: SeqNum::new(0),
+                pc: Pc::new(0x40),
+                useful: true,
+                fully_hidden: false,
+                rfp_complete: 8,
+                load_issue: 6,
+            },
+        );
+        let r = rec.records()[0];
+        assert_eq!(r.rfp_inject, Some((1, Addr::new(0x1000))));
+        assert_eq!(r.rfp_complete, Some(8));
+        assert_eq!(r.rfp_end, Some(10));
+        assert_eq!(r.rfp, Some(RfpOutcome::UsefulLate));
+        assert_eq!(r.rfp.unwrap().label(), "useful-late");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-overlapping")]
+    fn overlapping_windows_are_rejected() {
+        let _ = FlightRecorder::new(&[(0, 10), (5, 20)], 4);
+    }
+}

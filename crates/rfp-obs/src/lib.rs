@@ -42,16 +42,23 @@
 
 mod chrome;
 mod cpi_sink;
+mod flight;
 mod metrics;
 mod profile_sink;
 
 pub use chrome::ChromeTraceSink;
 pub use cpi_sink::CpiStackSink;
+pub use flight::{FlightRecorder, RfpOutcome, UopRecord};
 pub use metrics::MetricsSink;
 pub use profile_sink::ProfileSink;
 
 use rfp_stats::CpiBucket;
-use rfp_types::{Addr, Cycle, Pc, SeqNum};
+use rfp_types::{Addr, Cycle, Pc, PhysReg, SeqNum};
+
+/// Source-operand slots carried by [`ProbeEvent::Dispatch`]. Mirrors
+/// `rfp_trace::MAX_SRCS` (this crate sits below `rfp-trace`, so it
+/// cannot name the constant); `rfp-core` asserts the two stay equal.
+pub const PROBE_MAX_SRCS: usize = 3;
 
 /// Broad micro-op class carried by lifecycle events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,6 +202,24 @@ pub enum ProbeEvent {
         pc: Pc,
         /// Micro-op class.
         class: UopClass,
+    },
+    /// Rename/dispatch detail for a micro-op, emitted in the same cycle
+    /// as its [`ProbeEvent::Alloc`] (rename and dispatch share a cycle in
+    /// this model): the fetch timestamp and the renamed operand mappings.
+    /// A sink that remembers which sequence number last wrote each
+    /// physical register (the [`FlightRecorder`] does) can turn
+    /// `src_phys` into exact producer→consumer dependency edges without
+    /// the core carrying any extra state.
+    Dispatch {
+        /// Sequence number (same as the adjacent `Alloc`).
+        seq: SeqNum,
+        /// Cycle the micro-op was fetched (alloc minus the front-end
+        /// pipeline depth, earlier if dispatch lagged behind fetch).
+        fetch: Cycle,
+        /// Renamed source operands, `None` in unused slots.
+        src_phys: [Option<PhysReg>; PROBE_MAX_SRCS],
+        /// Renamed destination, `None` for stores/branches.
+        dst_phys: Option<PhysReg>,
     },
     /// A micro-op's execution was scheduled: issue and completion times
     /// are known (emitted at issue for simple ops, at data-return

@@ -1,0 +1,293 @@
+//! Deterministic anomaly detection over the per-interval CPI series.
+//!
+//! The flight recorder (`rfp-obs`) is armed only inside *anomalous
+//! windows*; this module picks them. The detector runs over the existing
+//! per-8192-uop [`CpiReport`] interval series and is pure integer/f64
+//! arithmetic on already-deterministic inputs, so the selected windows
+//! are byte-identical across thread counts, warm modes, and probe
+//! configurations (enforced by `rfp-bench/tests/parallel_determinism.rs`).
+//!
+//! Two complementary selection rules, unioned:
+//!
+//! 1. **z-score outliers** — for each *stall* bucket (everything except
+//!    `retiring` / `retiring-rfp-hidden`), compute the bucket's share of
+//!    each active interval's slots, then flag intervals whose share sits
+//!    ≥ [`ANOMALY_Z_THRESHOLD`] population standard deviations above the
+//!    mean. This finds intervals that are unusual *for this run*.
+//! 2. **top-N `rfp-late` / `mem-l1`** — the two buckets the paper's
+//!    timeliness argument (Fig. 14) and headroom argument (Fig. 1) hinge
+//!    on. The two fattest intervals of each are always candidates, even
+//!    in runs too uniform for any z-score to fire.
+
+use crate::cpi::{CpiBucket, CpiReport, CPI_INTERVALS, CPI_INTERVAL_SHIFT};
+use crate::ratio;
+
+/// Population z-score at or above which an interval's stall-bucket share
+/// counts as anomalous.
+pub const ANOMALY_Z_THRESHOLD: f64 = 2.0;
+
+/// How many top intervals per spotlight bucket (`rfp-late`, `mem-l1`)
+/// are always candidates.
+const TOP_N_PER_BUCKET: usize = 2;
+
+/// Shares below this standard deviation are treated as flat (no z-score
+/// can fire): guards the zero/near-zero-variance division.
+const MIN_STD: f64 = 1e-9;
+
+/// One selected capture window, in retired-uop space since the stats
+/// reset (the same epoch the interval series uses).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyWindow {
+    /// Index into the [`CpiReport`] interval series.
+    pub interval: usize,
+    /// First retired uop of the window (inclusive).
+    pub start_uop: u64,
+    /// One past the last retired uop of the window.
+    pub end_uop: u64,
+    /// Retire slots charged to stall buckets in this interval.
+    pub stall_slots: u64,
+    /// All retire slots in this interval.
+    pub total_slots: u64,
+    /// The stall bucket with the most slots (ties break toward the lower
+    /// bucket index).
+    pub dominant: CpiBucket,
+    /// Why this interval was selected, e.g. `"z=2.4 mem-dram"` or
+    /// `"top-rfp-late"`. Sorted, deduplicated.
+    pub reasons: Vec<String>,
+}
+
+impl AnomalyWindow {
+    /// Stall slots as a share of all slots (0 when the interval is
+    /// empty).
+    pub fn stall_share(&self) -> f64 {
+        ratio(self.stall_slots, self.total_slots)
+    }
+}
+
+fn is_stall(bucket: CpiBucket) -> bool {
+    !matches!(bucket, CpiBucket::Retiring | CpiBucket::RetiringRfpHidden)
+}
+
+fn stall_slots(report: &CpiReport, interval: usize) -> u64 {
+    CpiBucket::ALL
+        .iter()
+        .filter(|&&b| is_stall(b))
+        .map(|&b| report.intervals[interval].get(b))
+        .sum()
+}
+
+/// Picks up to `max_windows` anomalous capture windows from `report`'s
+/// interval series, ranked worst (most stall slots) first.
+///
+/// `measured_uops` is the retired-uop length of the measured region; it
+/// bounds the final (open-ended) interval and clips windows that the run
+/// did not fill. Returns an empty vector when fewer than two intervals
+/// carry slots (no population to be anomalous against) or when
+/// `max_windows` is zero.
+pub fn detect_anomalies(
+    report: &CpiReport,
+    measured_uops: u64,
+    max_windows: usize,
+) -> Vec<AnomalyWindow> {
+    let active: Vec<usize> = (0..CPI_INTERVALS)
+        .filter(|&i| report.intervals[i].total() > 0)
+        .collect();
+    if active.len() < 2 || max_windows == 0 {
+        return Vec::new();
+    }
+
+    // reasons[interval] accumulates selection evidence.
+    let mut reasons: Vec<Vec<String>> = vec![Vec::new(); CPI_INTERVALS];
+
+    // Rule 1: z-score on per-interval stall-bucket shares.
+    for &bucket in CpiBucket::ALL.iter().filter(|&&b| is_stall(b)) {
+        let shares: Vec<f64> = active
+            .iter()
+            .map(|&i| ratio(report.intervals[i].get(bucket), report.intervals[i].total()))
+            .collect();
+        let n = shares.len() as f64;
+        let mean = shares.iter().sum::<f64>() / n;
+        let var = shares.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        let std = var.sqrt();
+        if std <= MIN_STD {
+            continue;
+        }
+        for (&i, &share) in active.iter().zip(&shares) {
+            let z = (share - mean) / std;
+            if z >= ANOMALY_Z_THRESHOLD {
+                reasons[i].push(format!("z={z:.1} {}", bucket.label()));
+            }
+        }
+    }
+
+    // Rule 2: the fattest rfp-late / mem-l1 intervals are always
+    // candidates.
+    for (bucket, tag) in [
+        (CpiBucket::RfpLate, "top-rfp-late"),
+        (CpiBucket::MemL1, "top-mem-l1"),
+    ] {
+        let mut by_bucket: Vec<(u64, usize)> = active
+            .iter()
+            .map(|&i| (report.intervals[i].get(bucket), i))
+            .filter(|&(slots, _)| slots > 0)
+            .collect();
+        // Descending slots; ties toward the earlier interval.
+        by_bucket.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, i) in by_bucket.iter().take(TOP_N_PER_BUCKET) {
+            reasons[i].push(tag.to_string());
+        }
+    }
+
+    let mut windows: Vec<AnomalyWindow> = Vec::new();
+    for (i, rs) in reasons.iter_mut().enumerate() {
+        if rs.is_empty() {
+            continue;
+        }
+        rs.sort();
+        rs.dedup();
+        let start_uop = (i as u64) << CPI_INTERVAL_SHIFT;
+        // The last interval is open-ended; earlier ones are exact.
+        let end_uop = if i == CPI_INTERVALS - 1 {
+            measured_uops.max(start_uop + 1)
+        } else {
+            measured_uops
+                .max(start_uop + 1)
+                .min((i as u64 + 1) << CPI_INTERVAL_SHIFT)
+        };
+        let dominant = CpiBucket::ALL
+            .iter()
+            .copied()
+            .filter(|&b| is_stall(b))
+            .max_by_key(|&b| (report.intervals[i].get(b), std::cmp::Reverse(b.index())))
+            .expect("stall buckets are non-empty");
+        windows.push(AnomalyWindow {
+            interval: i,
+            start_uop,
+            end_uop,
+            stall_slots: stall_slots(report, i),
+            total_slots: report.intervals[i].total(),
+            dominant,
+            reasons: std::mem::take(rs),
+        });
+    }
+
+    // Worst first: most stall slots, ties toward the earlier interval.
+    windows.sort_by(|a, b| {
+        b.stall_slots
+            .cmp(&a.stall_slots)
+            .then(a.interval.cmp(&b.interval))
+    });
+    windows.truncate(max_windows);
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpi::CpiStack;
+
+    fn report_with(intervals: &[(usize, CpiStack)]) -> CpiReport {
+        let mut r = CpiReport::default();
+        for &(i, stack) in intervals {
+            r.intervals[i] = stack;
+            r.stack.merge(&stack);
+        }
+        r
+    }
+
+    fn stack(retiring: u64, bucket: CpiBucket, slots: u64) -> CpiStack {
+        let mut s = CpiStack::default();
+        s.record(CpiBucket::Retiring, retiring);
+        s.record(bucket, slots);
+        s
+    }
+
+    #[test]
+    fn empty_report_yields_no_windows() {
+        let r = CpiReport::default();
+        assert!(detect_anomalies(&r, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn single_active_interval_yields_no_windows() {
+        let r = report_with(&[(0, stack(10, CpiBucket::MemDram, 90))]);
+        assert!(detect_anomalies(&r, 8192, 4).is_empty());
+    }
+
+    #[test]
+    fn zscore_flags_the_outlier_interval() {
+        // Eight quiet intervals and one where mem-dram dominates. (A
+        // single outlier's population z is bounded by sqrt(n-1), so the
+        // series needs enough intervals for z >= 2 to be reachable.)
+        let quiet = stack(95, CpiBucket::MemDram, 5);
+        let loud = stack(10, CpiBucket::MemDram, 90);
+        let mut intervals: Vec<(usize, CpiStack)> = (0..8).map(|i| (i, quiet)).collect();
+        intervals.push((8, loud));
+        let r = report_with(&intervals);
+        let w = detect_anomalies(&r, 9 << CPI_INTERVAL_SHIFT, 4);
+        assert!(!w.is_empty());
+        assert_eq!(w[0].interval, 8);
+        assert_eq!(w[0].dominant, CpiBucket::MemDram);
+        assert!(
+            w[0].reasons.iter().any(|s| s.contains("mem-dram")),
+            "reasons: {:?}",
+            w[0].reasons
+        );
+        assert_eq!(w[0].start_uop, 8 << CPI_INTERVAL_SHIFT);
+        assert_eq!(w[0].end_uop, 9 << CPI_INTERVAL_SHIFT);
+    }
+
+    #[test]
+    fn top_buckets_fire_even_when_shares_are_flat() {
+        // Identical intervals: no z-score can fire, but the top-N rule
+        // still proposes rfp-late and mem-l1 carriers.
+        let s = {
+            let mut s = stack(80, CpiBucket::RfpLate, 10);
+            s.record(CpiBucket::MemL1, 10);
+            s
+        };
+        let r = report_with(&[(0, s), (1, s), (2, s)]);
+        let w = detect_anomalies(&r, 3 << CPI_INTERVAL_SHIFT, 8);
+        assert_eq!(w.len(), 2, "{w:?}");
+        assert!(w[0].reasons.contains(&"top-mem-l1".to_string()));
+        assert!(w[0].reasons.contains(&"top-rfp-late".to_string()));
+    }
+
+    #[test]
+    fn ranked_by_stall_slots_and_truncated() {
+        let mild = stack(50, CpiBucket::MemL1, 20);
+        let worse = stack(20, CpiBucket::MemL1, 60);
+        let r = report_with(&[(0, mild), (1, worse), (2, stack(100, CpiBucket::MemL1, 1))]);
+        let w = detect_anomalies(&r, 3 << CPI_INTERVAL_SHIFT, 1);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].interval, 1, "worst interval first");
+        assert_eq!(w[0].stall_slots, 60);
+    }
+
+    #[test]
+    fn open_ended_last_interval_is_clipped_to_measured() {
+        // mem-l1 so the top-N spotlight rule flags it even with only two
+        // active intervals (too few for any z-score to fire).
+        let s = stack(10, CpiBucket::MemL1, 90);
+        let last = CPI_INTERVALS - 1;
+        let r = report_with(&[(0, stack(100, CpiBucket::MemL1, 1)), (last, s)]);
+        let measured = ((last as u64) << CPI_INTERVAL_SHIFT) + 5000;
+        let w = detect_anomalies(&r, measured, 4);
+        let lw = w.iter().find(|w| w.interval == last).expect("flagged");
+        assert_eq!(lw.end_uop, measured);
+    }
+
+    #[test]
+    fn stall_share_guards_zero_denominator() {
+        let w = AnomalyWindow {
+            interval: 0,
+            start_uop: 0,
+            end_uop: 1,
+            stall_slots: 0,
+            total_slots: 0,
+            dominant: CpiBucket::MemL1,
+            reasons: vec![],
+        };
+        assert_eq!(w.stall_share(), 0.0);
+    }
+}

@@ -26,9 +26,11 @@
 
 use std::fmt::Write as _;
 
+mod anomaly;
 mod cpi;
 mod profile;
 
+pub use anomaly::{detect_anomalies, AnomalyWindow, ANOMALY_Z_THRESHOLD};
 pub use cpi::{CpiBucket, CpiReport, CpiStack, CPI_BUCKETS, CPI_INTERVALS, CPI_INTERVAL_SHIFT};
 pub use profile::{
     ProfileReport, SiteProfile, PREDICT_MISS_KINDS, PREDICT_MISS_LABELS, PROFILE_DROP_LABELS,
@@ -749,7 +751,9 @@ impl SimReport {
     }
 }
 
-pub(crate) fn ratio(num: u64, den: u64) -> f64 {
+/// `num / den` with a zero-denominator guard (empty windows, zero-stall
+/// intervals and the like report `0.0` instead of NaN).
+pub fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0
     } else {

@@ -43,6 +43,9 @@ fn main() {
     // a malformed value exits 2 here exactly as it would in
     // `experiments`, failing a typo'd pipeline at its first command.
     let _ = rfp_bench::inspect_windows_from_env();
+    // Same strictness for `RFP_STORE` (this bin's grids do use it): an
+    // empty or unwritable store path exits 2 before any simulation.
+    let _ = rfp_bench::ExpStore::from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut threads = default_threads();
     if let Some(v) = take_flag(&mut args, "--threads") {

@@ -53,6 +53,14 @@
 //! error bounds (JSON on stdout) using the same relative-error formula as
 //! `diff`, so the report predicts the gate outcome.
 //!
+//! Persistent store: with `RFP_STORE=<dir>` (or `--store DIR`;
+//! `--no-store` disables), finished job results, warm snapshots and
+//! compiled trace arenas are cached on disk content-addressed by their
+//! full inputs, so an unchanged job is a file read instead of a
+//! simulation. Stdout is byte-identical with the store off, cold or
+//! warm. `experiments store stats | gc --max-bytes N | clear` maintains
+//! the directory.
+//!
 //! `experiments inspect [--inspect-out FILE] [--konata-out FILE]
 //! <workload>` runs the two-pass anomaly → flight-recorder flow on one
 //! workload: the CPI interval series picks anomalous windows
@@ -63,10 +71,12 @@
 //!
 //! Run `experiments --help` for the generated subcommand/flag/env tables.
 
+use std::sync::Arc;
+
 use rfp_bench::{
     default_threads, diff_metrics_with, inspect_windows_from_env, inspect_workload,
-    sampling_error_report_json, telemetry_jsonl, trace_len_from_env, trace_workload_json, Harness,
-    DEFAULT_TRACE_LEN,
+    render_store_stats, sampling_error_report_json, telemetry_jsonl, trace_len_from_env,
+    trace_workload_json, ExpStore, Harness, WarmPool, DEFAULT_TRACE_LEN,
 };
 use rfp_core::{CoreConfig, OracleMode};
 
@@ -93,6 +103,10 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
     (
         "sampling-error <full.json> <sampled.json>",
         "condense two --sampling-report docs into p50/p95/max error bounds",
+    ),
+    (
+        "store stats | gc --max-bytes N | clear",
+        "inspect / LRU-evict / empty the persistent experiment store",
     ),
 ];
 
@@ -124,6 +138,14 @@ const SIDE_FLAGS: &[(&str, &str)] = &[
         "profile as collapsed stacks for flamegraph tooling",
     ),
     ("--telemetry-out FILE", "per-job engine telemetry (JSONL)"),
+    (
+        "--store DIR",
+        "persistent experiment store root (overrides RFP_STORE)",
+    ),
+    (
+        "--no-store",
+        "disable the persistent store even when RFP_STORE is set",
+    ),
     (
         "--sampling-report FILE",
         "per-workload IPC/coverage/CPI sampling summary (JSON)",
@@ -175,6 +197,10 @@ fn usage() -> String {
             "RFP_INSPECT_WINDOWS".to_string(),
             "capture-window budget for inspect (default 4)".to_string(),
         ),
+        (
+            "RFP_STORE".to_string(),
+            "persistent experiment store directory (off when unset)".to_string(),
+        ),
     ];
     let mut out = String::from("usage: experiments [flags] <subcommand>\n\nsubcommands:\n");
     push_table(&mut out, &own(SUBCOMMANDS));
@@ -218,12 +244,76 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(v)
 }
 
+/// Resolves the persistent store from flags and environment: `--no-store`
+/// wins, then `--store DIR`, then `RFP_STORE`. Malformed or unwritable
+/// values exit 2 with a contextual message.
+fn resolve_store(store_flag: Option<&str>, no_store: bool) -> Option<Arc<ExpStore>> {
+    if no_store {
+        return None;
+    }
+    match store_flag {
+        Some(dir) => Some(ExpStore::open_or_die(std::path::Path::new(dir), "--store")),
+        None => ExpStore::from_env(),
+    }
+}
+
 fn main() {
     // Validate every env knob up front so a malformed value fails the
     // pipeline at its first command instead of mid-sweep (the values are
-    // re-read where they're used).
+    // re-read where they're used). `RFP_STORE` is validated (and its
+    // directories created) here too: an empty or unwritable store path
+    // must fail the sweep's first command, not its last.
     let _ = inspect_windows_from_env();
+    let _ = ExpStore::from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Store maintenance is pure filesystem work — dispatch before any
+    // simulation setup.
+    if args.first().map(String::as_str) == Some("store") {
+        let store_flag = take_flag(&mut args, "--store");
+        let no_store = if let Some(i) = args.iter().position(|a| a == "--no-store") {
+            args.remove(i);
+            true
+        } else {
+            false
+        };
+        let Some(store) = resolve_store(store_flag.as_deref(), no_store) else {
+            eprintln!("error: no store configured (set RFP_STORE or pass --store DIR)");
+            std::process::exit(2);
+        };
+        match args.get(1).map(String::as_str) {
+            Some("stats") if args.len() == 2 => {
+                print!("{}", render_store_stats(&store));
+                std::process::exit(0);
+            }
+            Some("gc") => {
+                let max = take_flag(&mut args, "--max-bytes").unwrap_or_else(|| {
+                    eprintln!("usage: experiments store gc --max-bytes N");
+                    std::process::exit(2);
+                });
+                let max: u64 = max.parse().unwrap_or_else(|e| {
+                    eprintln!("error: --max-bytes {max:?} is not a valid value: {e}");
+                    std::process::exit(2);
+                });
+                if args.len() != 2 {
+                    eprintln!("usage: experiments store gc --max-bytes N");
+                    std::process::exit(2);
+                }
+                let (entries, bytes) = store.gc(max);
+                println!("evicted {entries} entries ({bytes} bytes)");
+                print!("{}", render_store_stats(&store));
+                std::process::exit(0);
+            }
+            Some("clear") if args.len() == 2 => {
+                let removed = store.clear();
+                println!("removed {removed} entries");
+                std::process::exit(0);
+            }
+            _ => {
+                eprintln!("usage: experiments store stats | gc --max-bytes N | clear");
+                std::process::exit(2);
+            }
+        }
+    }
     // The sentinel subcommands are pure file comparison — dispatch
     // before any simulation setup.
     if args.first().map(String::as_str) == Some("diff") {
@@ -306,6 +396,13 @@ fn main() {
             }
         }
     }
+    let store_flag = take_flag(&mut args, "--store");
+    let no_store = if let Some(i) = args.iter().position(|a| a == "--no-store") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
     let trace_out = take_flag(&mut args, "--trace-out");
     let trace_workload =
         take_flag(&mut args, "--trace-workload").unwrap_or_else(|| "spec17_mcf".to_string());
@@ -344,7 +441,8 @@ fn main() {
         ids
     };
 
-    let mut h = Harness::with_threads(len, threads);
+    let pool = WarmPool::from_env(len).with_store(resolve_store(store_flag.as_deref(), no_store));
+    let mut h = Harness::with_pool(len, threads, pool);
     let t0 = std::time::Instant::now();
     // Observability passes re-simulate the RFP configs with probes
     // attached; pinning their warm snapshots now lets those passes fork
@@ -411,10 +509,14 @@ fn main() {
         eprintln!("wrote pipeline trace to {path} (load in Perfetto or chrome://tracing)");
     }
     if let Some(file) = &telemetry_out {
-        // Per-job rows plus one warm-pool summary line, so CI can assert
-        // the snapshot cache actually got hit.
+        // Per-job rows plus one warm-pool summary line (and one store
+        // summary when a store is configured), so CI can assert the
+        // snapshot cache and the persistent store actually got hit.
         let mut out = telemetry_jsonl(h.job_telemetry());
         out.push_str(&h.warm_pool().stats().jsonl_line());
+        if let Some(store) = h.warm_pool().store() {
+            out.push_str(&store.stats().jsonl_line());
+        }
         write_or_die(file, &out);
         eprintln!("wrote {} telemetry rows to {file}", h.job_telemetry().len());
     }

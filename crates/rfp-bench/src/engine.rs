@@ -26,7 +26,9 @@ use rfp_core::{
 use rfp_obs::{CpiStackSink, MetricsSink, ProfileSink, TeeProbe};
 use rfp_stats::{CoreStats, CpiReport, ObsMetrics, ProfileReport, SimReport, CPI_INTERVAL_SHIFT};
 use rfp_trace::{CompiledTrace, MicroOp, Workload};
-use rfp_types::json_escape;
+use rfp_types::{fnv1a_64, json_escape};
+
+use crate::store::{self, ExpStore, Tier};
 
 /// Reads environment variable `name` and parses it as `T`.
 ///
@@ -109,13 +111,7 @@ pub fn default_threads() -> usize {
 /// assert_ne!(a, config_key(&CoreConfig::tiger_lake().with_rfp()));
 /// ```
 pub fn config_key(cfg: &CoreConfig) -> u64 {
-    let repr = format!("{cfg:?}");
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in repr.as_bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    fnv1a_64(format!("{cfg:?}").as_bytes())
 }
 
 /// How the engine reuses warmup work across the grid (`RFP_WARM_MODE`).
@@ -394,6 +390,11 @@ pub struct WarmPool {
     measured: u64,
     /// Warmup uops per run (`len / 2`, matching `simulate_workload`).
     warmup: u64,
+    /// Persistent content-addressed store ([`crate::ExpStore`]), when
+    /// configured: warm snapshots and compiled arenas are looked up here
+    /// before being built (and published after), and the grid runner
+    /// checks it for finished job results before simulating at all.
+    store: Option<Arc<ExpStore>>,
     pinned: Mutex<HashSet<u64>>,
     traces: Mutex<HashMap<usize, Arc<CompiledTrace>>>,
     plans: Mutex<HashMap<usize, Arc<SamplePlan>>>,
@@ -432,6 +433,7 @@ impl WarmPool {
             sim,
             measured: len,
             warmup: len / 2,
+            store: None,
             pinned: Mutex::new(HashSet::new()),
             traces: Mutex::new(HashMap::new()),
             plans: Mutex::new(HashMap::new()),
@@ -444,9 +446,25 @@ impl WarmPool {
     }
 
     /// [`WarmPool::with_sim`] with both modes taken from the environment
-    /// (`RFP_WARM_MODE`, `RFP_SIM_MODE`).
+    /// (`RFP_WARM_MODE`, `RFP_SIM_MODE`), plus the persistent store when
+    /// `RFP_STORE` is set.
     pub fn from_env(len: u64) -> Self {
         Self::with_sim(WarmMode::from_env(), SimMode::from_env(), len)
+            .with_store(ExpStore::from_env())
+    }
+
+    /// Replaces the pool's persistent store (`None` disables it). The
+    /// builder form keeps test pools store-free by default while letting
+    /// binaries override the `RFP_STORE` environment resolution
+    /// (`--store` / `--no-store`).
+    pub fn with_store(mut self, store: Option<Arc<ExpStore>>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// The pool's persistent store, when configured.
+    pub fn store(&self) -> Option<&Arc<ExpStore>> {
+        self.store.as_ref()
     }
 
     /// The pool's sharing mode.
@@ -504,14 +522,25 @@ impl WarmPool {
         if let Some(t) = traces.get(&wi) {
             return Arc::clone(t);
         }
-        // Built while holding the lock: compilation is ~1% of a job's
-        // simulation time, and building once beats racing builds.
-        self.trace_builds.fetch_add(1, Ordering::Relaxed);
-        let t = Arc::new(suite[wi].compiled(
-            self.measured + self.warmup,
-            self.warmup,
-            SAMPLE_INTERVAL_UOPS,
-        ));
+        // Built (or loaded) while holding the lock: compilation is ~1%
+        // of a job's simulation time, and building once beats racing
+        // builds.
+        let total = self.measured + self.warmup;
+        let t = if let Some(s) = &self.store {
+            let key = store::trace_key(total, self.warmup, SAMPLE_INTERVAL_UOPS, suite[wi].name);
+            match s.get::<CompiledTrace>(Tier::Trace, &key) {
+                Some((t, _)) => Arc::new(t),
+                None => {
+                    self.trace_builds.fetch_add(1, Ordering::Relaxed);
+                    let t = suite[wi].compiled(total, self.warmup, SAMPLE_INTERVAL_UOPS);
+                    s.put(Tier::Trace, &key, &t);
+                    Arc::new(t)
+                }
+            }
+        } else {
+            self.trace_builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(suite[wi].compiled(total, self.warmup, SAMPLE_INTERVAL_UOPS))
+        };
         traces.insert(wi, Arc::clone(&t));
         t
     }
@@ -549,6 +578,23 @@ impl WarmPool {
         let state = cell.get_or_init(|| {
             built = true;
             self.snapshot_misses.fetch_add(1, Ordering::Relaxed);
+            // The persistent store is checked under the *projection* key:
+            // configs sharing a projection produce bit-identical warm
+            // state, so a snapshot persisted by one serves them all —
+            // across sweeps and processes, not just within this grid.
+            if let Some(s) = &self.store {
+                let skey =
+                    store::warm_snapshot_key(self.warmup, suite[wi].name, &warm_projection(cfg));
+                if let Some((ws, _)) = s.get::<WarmState>(Tier::Warm, &skey) {
+                    return Arc::new(ws);
+                }
+                let trace = self.trace(suite, wi);
+                let ws =
+                    warm_up_workload(cfg, &suite[wi], self.warmup, trace.ops().iter().copied())
+                        .expect("valid config");
+                s.put(Tier::Warm, &skey, &ws);
+                return Arc::new(ws);
+            }
             let trace = self.trace(suite, wi);
             Arc::new(
                 warm_up_workload(cfg, &suite[wi], self.warmup, trace.ops().iter().copied())
@@ -627,7 +673,11 @@ fn plan_jobs(pool: &WarmPool, configs: &[CoreConfig]) -> Vec<JobPlan> {
         })
         .collect();
     // A snapshot pays for itself when its sharing key serves >= 2 jobs
-    // (or a pinned follow-up grid).
+    // (or a pinned follow-up grid). With a persistent store every
+    // snapshot is worthy: a one-off build is amortized across future
+    // sweeps, and a persisted snapshot turns a singleton job's warmup
+    // into one disk read. (Byte-identity is unaffected — the fork path
+    // is exact by construction.)
     let mut counts: HashMap<u64, usize> = HashMap::new();
     for p in &plans {
         let share = p.twin.as_ref().map_or(p.exact, |(k, _)| *k);
@@ -637,7 +687,7 @@ fn plan_jobs(pool: &WarmPool, configs: &[CoreConfig]) -> Vec<JobPlan> {
         .into_iter()
         .map(|mut p| {
             let share = p.twin.as_ref().map_or(p.exact, |(k, _)| *k);
-            p.worthy = counts[&share] >= 2 || pinned.contains(&share);
+            p.worthy = counts[&share] >= 2 || pinned.contains(&share) || pool.store.is_some();
             p
         })
         .collect()
@@ -917,8 +967,21 @@ pub struct JobTelemetry {
     /// shared snapshot), or `"transplant"` (checkpoint-mode twin). Under
     /// [`SimMode::Sample`]: `"sample-fork"` / `"sample-transplant"`
     /// (phase-sampled windows off the twin snapshot) or `"sample-full"`
-    /// (degenerate short run, simulated in full).
+    /// (degenerate short run, simulated in full). `"store"` means the
+    /// whole job was served from the persistent result store and nothing
+    /// was simulated.
     pub warm: &'static str,
+    /// Result-store outcome for this job: `"off"` (no store configured),
+    /// `"hit"` (report read from disk, nothing simulated) or `"miss"`
+    /// (simulated, then published). Warm-snapshot and trace-arena store
+    /// traffic is shared across jobs and therefore only appears in the
+    /// store's aggregate counters, not here.
+    pub store: &'static str,
+    /// Result-entry bytes read on a store hit (0 otherwise).
+    pub store_bytes_read: u64,
+    /// Result-entry bytes published on a store miss (0 otherwise, and 0
+    /// when the best-effort publish failed).
+    pub store_bytes_written: u64,
 }
 
 /// Everything one work-stealing grid run produces: the suite-ordered
@@ -1036,8 +1099,49 @@ pub fn run_grid_pooled(
                         let (wi, ci) = (claim / n_configs, claim % n_configs);
                         let job = ci * n_workloads + wi;
                         let t0 = Instant::now();
-                        let (report, warm) =
-                            pooled_job(pool, &configs[ci], &plans[ci], suite, wi, collect_obs);
+                        // Persistent-store fast path: a verified result
+                        // entry replaces the whole simulation. On a miss
+                        // the freshly simulated report is published so
+                        // the next sweep (or process) hits.
+                        let (report, warm, store_tag, s_read, s_written) = match pool.store() {
+                            Some(s) => {
+                                let key = store::result_key(
+                                    pool.measured,
+                                    pool.warmup,
+                                    pool.sim,
+                                    pool.mode,
+                                    collect_obs,
+                                    suite[wi].name,
+                                    &configs[ci],
+                                );
+                                match s.get::<SimReport>(Tier::Result, &key) {
+                                    Some((r, n)) => (r, "store", "hit", n, 0),
+                                    None => {
+                                        let (r, warm) = pooled_job(
+                                            pool,
+                                            &configs[ci],
+                                            &plans[ci],
+                                            suite,
+                                            wi,
+                                            collect_obs,
+                                        );
+                                        let written = s.put(Tier::Result, &key, &r);
+                                        (r, warm, "miss", 0, written)
+                                    }
+                                }
+                            }
+                            None => {
+                                let (r, warm) = pooled_job(
+                                    pool,
+                                    &configs[ci],
+                                    &plans[ci],
+                                    suite,
+                                    wi,
+                                    collect_obs,
+                                );
+                                (r, warm, "off", 0, 0)
+                            }
+                        };
                         if (pool.mode() != WarmMode::Off || pool.sim() == SimMode::Sample)
                             && remaining[wi].fetch_sub(1, Ordering::AcqRel) == 1
                         {
@@ -1053,6 +1157,9 @@ pub fn run_grid_pooled(
                                 queue_depth: n_jobs - claim,
                                 wall_nanos: t0.elapsed().as_nanos() as u64,
                                 warm,
+                                store: store_tag,
+                                store_bytes_read: s_read,
+                                store_bytes_written: s_written,
                             },
                         ));
                     }
@@ -1097,7 +1204,8 @@ pub fn telemetry_jsonl(telemetry: &[JobTelemetry]) -> String {
         writeln!(
             out,
             "{{\"job\":{},\"config\":{},\"workload\":\"{}\",\"worker\":{},\
-             \"queue_depth\":{},\"wall_nanos\":{},\"warm\":\"{}\"}}",
+             \"queue_depth\":{},\"wall_nanos\":{},\"warm\":\"{}\",\
+             \"store\":\"{}\",\"store_bytes_read\":{},\"store_bytes_written\":{}}}",
             t.job,
             t.config,
             json_escape(t.workload),
@@ -1105,6 +1213,9 @@ pub fn telemetry_jsonl(telemetry: &[JobTelemetry]) -> String {
             t.queue_depth,
             t.wall_nanos,
             t.warm,
+            t.store,
+            t.store_bytes_read,
+            t.store_bytes_written,
         )
         .expect("write to String");
     }
@@ -1343,12 +1454,16 @@ mod tests {
             queue_depth: 7,
             wall_nanos: 42,
             warm: "fork",
+            store: "hit",
+            store_bytes_read: 9,
+            store_bytes_written: 0,
         }];
         let s = telemetry_jsonl(&rows);
         assert_eq!(
             s,
             "{\"job\":3,\"config\":1,\"workload\":\"w\\\"x\",\"worker\":0,\
-             \"queue_depth\":7,\"wall_nanos\":42,\"warm\":\"fork\"}\n"
+             \"queue_depth\":7,\"wall_nanos\":42,\"warm\":\"fork\",\
+             \"store\":\"hit\",\"store_bytes_read\":9,\"store_bytes_written\":0}\n"
         );
     }
 

@@ -537,7 +537,10 @@ mod tests {
     fn two_pass_flow_captures_windows_and_renders() {
         let o = small_outcome();
         assert!(!o.windows.is_empty(), "24k uops should yield a window");
-        assert!(o.windows[0].records.len() > 0, "worst window captured uops");
+        assert!(
+            !o.windows[0].records.is_empty(),
+            "worst window captured uops"
+        );
         // Worst first.
         for pair in o.windows.windows(2) {
             assert!(pair[0].anomaly.stall_slots >= pair[1].anomaly.stall_slots);

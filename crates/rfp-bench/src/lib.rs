@@ -21,6 +21,7 @@
 mod diff;
 mod engine;
 mod inspect;
+mod store;
 
 use std::collections::{HashMap, HashSet};
 
@@ -45,6 +46,10 @@ pub use engine::{
     SAMPLE_WARM_PREFIX,
 };
 pub use inspect::{inspect_workload, InspectOutcome, INSPECT_LEAD_UOPS};
+pub use store::{
+    render_store_stats, result_key, trace_key, warm_snapshot_key, ExpStore, StoreDir, StoreStats,
+    Tier, TierUsage, STORE_SCHEMA_VERSION,
+};
 
 /// Default measured trace length per workload (after an equal warmup).
 pub const DEFAULT_TRACE_LEN: u64 = 120_000;

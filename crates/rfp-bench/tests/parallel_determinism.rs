@@ -405,6 +405,249 @@ fn sampled_single_config_grid_forks_its_own_twin() {
     }
 }
 
+mod persistent_store {
+    //! The persistent experiment store must be invisible in the output:
+    //! a sweep with the store off, cold (publishing) or warm (serving
+    //! every job from disk) produces byte-identical canonical reports at
+    //! every thread count and probe setting — and a vandalised store
+    //! degrades to misses, never to wrong answers.
+
+    use super::*;
+    use rfp_bench::{ExpStore, Tier};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Unique scratch store root, removed on drop (pass or fail).
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            Scratch(std::env::temp_dir().join(format!(
+                "rfp-store-it-{tag}-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            )))
+        }
+
+        /// A fresh handle onto the same directory — zeroed in-memory
+        /// counters, exactly like a new process reopening the store.
+        fn open(&self) -> Arc<ExpStore> {
+            Arc::new(ExpStore::open(&self.0).expect("scratch store opens"))
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn store_off_cold_and_warm_runs_are_byte_identical() {
+        let scratch = Scratch::new("matrix");
+        let configs = [
+            CoreConfig::tiger_lake(),
+            CoreConfig::tiger_lake().with_rfp(),
+        ];
+        let len = 1_500;
+        for collect_obs in [false, true] {
+            let reference = run_grid_pooled(
+                &WarmPool::new(WarmMode::Exact, len),
+                &configs,
+                1,
+                collect_obs,
+            );
+            assert!(
+                reference.telemetry.iter().all(|t| t.store == "off"),
+                "a pool without a store must tag jobs store=off"
+            );
+            let reference_bytes: Vec<Vec<u8>> = reference
+                .reports
+                .iter()
+                .map(|r| canonical_bytes(r))
+                .collect();
+            let check = |reports: &[Vec<SimReport>], tag: &str| {
+                for (row, (g, r)) in reports.iter().zip(&reference_bytes).enumerate() {
+                    assert_eq!(
+                        &canonical_bytes(g),
+                        r,
+                        "{tag} obs={collect_obs} row={row}: store changed the output"
+                    );
+                }
+            };
+            // Cold: every result is a miss, simulated and published.
+            let pool = WarmPool::new(WarmMode::Exact, len).with_store(Some(scratch.open()));
+            let cold = run_grid_pooled(&pool, &configs, 2, collect_obs);
+            assert!(
+                cold.telemetry
+                    .iter()
+                    .all(|t| t.store == "miss" && t.store_bytes_written > 0),
+                "obs={collect_obs}: a cold run must publish every result"
+            );
+            check(&cold.reports, "cold");
+            // Warm: every job is a disk read; nothing simulates, no
+            // arena recompiles — at every thread count the CI matrix uses.
+            for threads in [1, 2, 8] {
+                let pool = WarmPool::new(WarmMode::Exact, len).with_store(Some(scratch.open()));
+                let warm = run_grid_pooled(&pool, &configs, threads, collect_obs);
+                assert!(
+                    warm.telemetry
+                        .iter()
+                        .all(|t| t.store == "hit" && t.warm == "store"),
+                    "threads={threads} obs={collect_obs}: warm run must serve from disk"
+                );
+                assert_eq!(pool.stats().trace_builds, 0, "no arena rebuilds on hits");
+                check(&warm.reports, &format!("warm t{threads}"));
+            }
+            // Drop the result tier only: jobs re-simulate, but forked
+            // from warm snapshots and compiled arenas *deserialized from
+            // disk* — the end-to-end proof that a persisted snapshot
+            // resumes bit-equal to the in-memory fork it was built from.
+            let store = scratch.open();
+            assert!(store.clear_tier(Tier::Result) > 0);
+            let pool = WarmPool::new(WarmMode::Exact, len).with_store(Some(store.clone()));
+            let resnap = run_grid_pooled(&pool, &configs, 2, collect_obs);
+            assert!(
+                resnap
+                    .telemetry
+                    .iter()
+                    .all(|t| t.store == "miss" && t.warm == "fork"),
+                "obs={collect_obs}: cleared results must re-simulate via forks"
+            );
+            let s = store.stats();
+            assert!(s.hits > 0, "snapshot/arena tiers must serve the re-run");
+            assert_eq!(s.corrupt, 0);
+            assert_eq!(
+                pool.stats().trace_builds,
+                0,
+                "compiled arenas must come from disk, not recompilation"
+            );
+            check(&resnap.reports, "persisted-snapshot");
+        }
+    }
+
+    #[test]
+    fn store_round_trips_unwarmed_and_sampled_grids() {
+        // The result key embeds the warm and sim modes, so one directory
+        // serves all four runs here without cross-talk — and the
+        // byte-identity contract holds per mode.
+        let scratch = Scratch::new("modes");
+        let configs = [
+            CoreConfig::tiger_lake(),
+            CoreConfig::tiger_lake().with_rfp(),
+        ];
+        for (mode, sim, len) in [
+            (WarmMode::Off, SimMode::Full, 1_500),
+            (
+                WarmMode::Exact,
+                SimMode::Sample,
+                2 * SAMPLE_INTERVAL_UOPS + 1024,
+            ),
+        ] {
+            let reference =
+                run_grid_pooled(&WarmPool::with_sim(mode, sim, len), &configs, 1, false);
+            let reference_bytes: Vec<Vec<u8>> = reference
+                .reports
+                .iter()
+                .map(|r| canonical_bytes(r))
+                .collect();
+            let cold_pool = WarmPool::with_sim(mode, sim, len).with_store(Some(scratch.open()));
+            let cold = run_grid_pooled(&cold_pool, &configs, 2, false);
+            assert!(cold.telemetry.iter().all(|t| t.store == "miss"));
+            let warm_pool = WarmPool::with_sim(mode, sim, len).with_store(Some(scratch.open()));
+            let warm = run_grid_pooled(&warm_pool, &configs, 8, false);
+            assert!(
+                warm.telemetry
+                    .iter()
+                    .all(|t| t.store == "hit" && t.warm == "store"),
+                "{mode:?}/{sim:?}: second run must be all hits"
+            );
+            for (tag, outcome) in [("cold", &cold), ("warm", &warm)] {
+                for (row, (g, r)) in outcome.reports.iter().zip(&reference_bytes).enumerate() {
+                    assert_eq!(
+                        &canonical_bytes(g),
+                        r,
+                        "{mode:?}/{sim:?} {tag} row={row} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_store_entries_degrade_to_misses_with_identical_results() {
+        let scratch = Scratch::new("corrupt");
+        let configs = [CoreConfig::tiger_lake().with_rfp()];
+        let len = 1_500;
+        let reference = run_grid_pooled(&WarmPool::new(WarmMode::Exact, len), &configs, 1, false);
+        let reference_bytes: Vec<Vec<u8>> = reference
+            .reports
+            .iter()
+            .map(|r| canonical_bytes(r))
+            .collect();
+        let fill = WarmPool::new(WarmMode::Exact, len).with_store(Some(scratch.open()));
+        let _ = run_grid_pooled(&fill, &configs, 2, false);
+        // Vandalise three quarters of every tier — truncation, a body
+        // bit-flip, and a version-byte flip — leaving every fourth entry
+        // intact so hits and misses coexist in one run.
+        let mut damaged = 0u64;
+        for tier in Tier::ALL {
+            let mut files: Vec<PathBuf> = std::fs::read_dir(scratch.0.join(tier.dir()))
+                .expect("tier dir")
+                .map(|e| e.expect("dir entry").path())
+                .collect();
+            files.sort();
+            for (i, path) in files.iter().enumerate() {
+                let mut bytes = std::fs::read(path).expect("entry readable");
+                match i % 4 {
+                    0 => continue, // intact → must still hit
+                    1 => bytes.truncate(bytes.len() / 2),
+                    2 => bytes[MAGIC_LEN] ^= 0xff, // version skew, stale checksum
+                    _ => {
+                        let mid = bytes.len() / 2;
+                        bytes[mid] ^= 0x40;
+                    }
+                }
+                std::fs::write(path, bytes).expect("vandalism writable");
+                damaged += 1;
+            }
+        }
+        assert!(damaged > 0, "the fill run must have populated the store");
+        let store = scratch.open();
+        let pool = WarmPool::new(WarmMode::Exact, len).with_store(Some(store.clone()));
+        let got = run_grid_pooled(&pool, &configs, 8, false);
+        for (row, (g, r)) in got.reports.iter().zip(&reference_bytes).enumerate() {
+            assert_eq!(
+                &canonical_bytes(g),
+                r,
+                "row={row}: corruption leaked into the results"
+            );
+        }
+        let s = store.stats();
+        assert!(s.corrupt > 0, "vandalised entries must be counted corrupt");
+        assert!(s.hits > 0, "intact entries must still hit");
+        assert!(got.telemetry.iter().any(|t| t.store == "hit"));
+        assert!(got.telemetry.iter().any(|t| t.store == "miss"));
+        // Misses republished over the vandalism, so the store healed: a
+        // fresh pass is all hits again and clean of corruption.
+        let healed_store = scratch.open();
+        let healed_pool =
+            WarmPool::new(WarmMode::Exact, len).with_store(Some(healed_store.clone()));
+        let healed = run_grid_pooled(&healed_pool, &configs, 2, false);
+        assert!(healed.telemetry.iter().all(|t| t.store == "hit"));
+        assert_eq!(healed_store.stats().corrupt, 0);
+        for (row, (g, r)) in healed.reports.iter().zip(&reference_bytes).enumerate() {
+            assert_eq!(&canonical_bytes(g), r, "row={row}: healed run diverged");
+        }
+    }
+
+    /// Byte offset of the schema-version word in an entry (after the
+    /// magic), for the version-skew vandalism arm.
+    const MAGIC_LEN: usize = 8;
+}
+
 mod compiled_trace_fidelity {
     use proptest::prelude::*;
 

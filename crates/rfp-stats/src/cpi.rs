@@ -307,6 +307,17 @@ impl CpiReport {
     }
 }
 
+mod codec_impls {
+    //! Binary codec for persisted experiment results.
+
+    use super::{CpiReport, CpiStack};
+    use crate::codec_impls::codec_fields;
+    use rfp_types::codec::{ByteReader, ByteWriter, Codec, CodecError};
+
+    codec_fields!(CpiStack { slots });
+    codec_fields!(CpiReport { stack, intervals });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -949,6 +949,152 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+mod codec_impls {
+    //! Binary codecs for persisted experiment results (the on-disk store's
+    //! job-result tier serialises whole [`SimReport`]s).
+
+    use super::{
+        CoreStats, HostThroughput, Log2Histogram, ObsMetrics, SignedLog2Histogram, SimReport,
+    };
+    use rfp_types::codec::{ByteReader, ByteWriter, Codec, CodecError};
+
+    /// Implements [`Codec`] by encoding the named fields in declaration
+    /// order. The destructuring pattern is exhaustive, so adding a field
+    /// without updating the wire format is a compile error.
+    macro_rules! codec_fields {
+        ($ty:ident { $($f:ident),+ $(,)? }) => {
+            impl Codec for $ty {
+                fn encode(&self, w: &mut ByteWriter) {
+                    let $ty { $($f),+ } = self;
+                    $( $f.encode(w); )+
+                }
+                fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+                    Ok($ty { $( $f: Codec::decode(r)?, )+ })
+                }
+            }
+        };
+    }
+
+    codec_fields!(HostThroughput { host_nanos });
+    codec_fields!(Log2Histogram { buckets });
+    codec_fields!(SignedLog2Histogram { neg, nonneg });
+    codec_fields!(ObsMetrics {
+        load_use_latency,
+        load_latency_by_level,
+        rfp_complete_rel_issue,
+        rfp_queue_wait,
+        rfp_drops_over_time,
+    });
+    codec_fields!(CoreStats {
+        cycles,
+        retired_uops,
+        retired_loads,
+        retired_stores,
+        retired_branches,
+        branch_mispredicts,
+        load_hit_levels,
+        load_forwarded,
+        loads_ready_at_alloc,
+        rfp_injected,
+        rfp_executed,
+        rfp_useful,
+        rfp_wrong_addr,
+        rfp_dropped_load_first,
+        rfp_dropped_tlb,
+        rfp_dropped_queue_full,
+        rfp_dropped_l1_miss,
+        rfp_dropped_squashed,
+        rfp_fully_hidden,
+        vp_predicted,
+        vp_mispredicted,
+        ap_known,
+        ap_high_confidence,
+        ap_no_fwd,
+        ap_probe_launched,
+        ap_probe_success,
+        ap_mispredicted,
+        sched_reissues,
+        md_violations,
+        vp_flushes,
+        epp_reexecutions,
+        mem_hit_counts,
+        tlb_walks,
+        stall_head_kind,
+        total_retired_uops,
+        total_cycles,
+        throughput,
+    });
+    codec_fields!(SimReport {
+        workload,
+        category,
+        stats,
+        obs,
+        cpi,
+        profile,
+    });
+
+    pub(crate) use codec_fields;
+}
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use rfp_types::codec::{decode_from_slice, encode_to_vec};
+
+    fn sample_report() -> SimReport {
+        let mut stats = CoreStats {
+            cycles: 123_456,
+            retired_uops: 98_765,
+            retired_loads: 20_001,
+            load_hit_levels: [15_000, 300, 2_500, 1_200, 1_001],
+            rfp_injected: 9_000,
+            rfp_useful: 7_000,
+            throughput: HostThroughput {
+                host_nanos: 5_000_000,
+            },
+            ..CoreStats::default()
+        };
+        stats.stall_head_kind = [1, 2, 3, 4, 5, 6];
+        let mut obs = ObsMetrics::default();
+        obs.load_use_latency.record(5);
+        obs.load_latency_by_level[2].record(14);
+        obs.rfp_complete_rel_issue.record(-3);
+        obs.rfp_complete_rel_issue.record(17);
+        obs.rfp_queue_wait.record(2);
+        obs.rfp_drops_over_time[3][1] = 42;
+        let mut r = SimReport::new("wl", "cat", stats);
+        r.obs = Some(Box::new(obs));
+        r
+    }
+
+    #[test]
+    fn sim_report_round_trips_bit_exactly() {
+        let report = sample_report();
+        let bytes = encode_to_vec(&report);
+        let back: SimReport = decode_from_slice(&bytes).expect("decode");
+        assert_eq!(back, report);
+        assert_eq!(back.canonical_text(), report.canonical_text());
+        assert_eq!(encode_to_vec(&back), bytes);
+    }
+
+    #[test]
+    fn sim_report_none_sections_round_trip() {
+        let report = SimReport::new("w", "c", CoreStats::default());
+        let bytes = encode_to_vec(&report);
+        let back: SimReport = decode_from_slice(&bytes).expect("decode");
+        assert_eq!(back, report);
+        assert!(back.obs.is_none() && back.cpi.is_none() && back.profile.is_none());
+    }
+
+    #[test]
+    fn truncated_report_is_an_error_not_a_panic() {
+        let bytes = encode_to_vec(&sample_report());
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_from_slice::<SimReport>(&bytes[..cut]).is_err());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -314,6 +314,30 @@ impl ProfileReport {
     }
 }
 
+mod codec_impls {
+    //! Binary codec for persisted experiment results.
+
+    use super::{ProfileReport, SiteProfile};
+    use crate::codec_impls::codec_fields;
+    use rfp_types::codec::{ByteReader, ByteWriter, Codec, CodecError};
+
+    codec_fields!(SiteProfile {
+        loads,
+        misses,
+        injected,
+        useful_fully_hidden,
+        useful_late,
+        wrong_addr,
+        not_predicted,
+        drops,
+        lateness,
+        queue_wait_sum,
+        queue_wait_n,
+        stall_slots,
+    });
+    codec_fields!(ProfileReport { sites });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -170,6 +170,20 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// Returns the raw xoshiro256++ state, for checkpoint/restore of
+        /// deterministic simulations (not part of the upstream API).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured with
+        /// [`SmallRng::state`]; the restored stream continues bit-exactly.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let out = self.s[0]

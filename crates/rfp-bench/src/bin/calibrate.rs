@@ -10,20 +10,28 @@
 //! `--metrics-out FILE` writes the RFP row's per-workload latency
 //! histograms (JSON), `--profile-out FILE` its per-load-PC attribution
 //! profile (JSON), `--trace-out DIR` (with `--trace-workload W`,
-//! default `spec17_mcf`) writes a Perfetto pipeline trace, and
-//! `--telemetry-out FILE` writes per-job engine telemetry (JSONL).
+//! default `spec17_mcf`) writes a Perfetto pipeline trace,
+//! `--telemetry-out FILE` writes per-job engine telemetry (JSONL), and
+//! `--engine-trace-out FILE` (or `RFP_ENGINE_TRACE=<path>`) writes the
+//! engine's own span trace (Chrome JSON with an `engineMetrics`
+//! summary).
 //!
 //! Env: `RFP_TRACE_LEN=<uops>`, `RFP_THREADS=<n>`,
-//! `RFP_WARM_MODE=off|exact|checkpoint` and `RFP_SIM_MODE=full|sample`
+//! `RFP_WARM_MODE=off|exact|checkpoint`, `RFP_SIM_MODE=full|sample`
 //! (phase-sampled simulation — approximate, see `experiments
-//! sampling-error`). All are strictly parsed: a malformed value exits 2
-//! instead of silently falling back to the default.
+//! sampling-error`) and `RFP_ENGINE_TRACE=<path>`. All are strictly
+//! parsed: a malformed value exits 2 instead of silently falling back
+//! to the default.
+
+use std::sync::Arc;
 
 use rfp_bench::{
-    default_threads, metrics_reports_json, profile_reports_json, run_grid_full, telemetry_jsonl,
-    trace_workload_json,
+    default_threads, engine_trace_from_env, metrics_reports_json, profile_reports_json,
+    run_grid_pooled, telemetry_jsonl, trace_workload_json, write_engine_trace, EngineTracePath,
+    WarmPool,
 };
 use rfp_core::{CoreConfig, OracleMode};
+use rfp_obs::EngineTracer;
 use rfp_stats::{geomean_speedup, mean_frac};
 
 /// Removes `--flag value` from `args`, returning the value.
@@ -46,6 +54,9 @@ fn main() {
     // Same strictness for `RFP_STORE` (this bin's grids do use it): an
     // empty or unwritable store path exits 2 before any simulation.
     let _ = rfp_bench::ExpStore::from_env();
+    // And for `RFP_ENGINE_TRACE` — even when `--engine-trace-out`
+    // overrides it, a malformed env value must fail here.
+    let _ = engine_trace_from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut threads = default_threads();
     if let Some(v) = take_flag(&mut args, "--threads") {
@@ -63,6 +74,18 @@ fn main() {
     let metrics_out = take_flag(&mut args, "--metrics-out");
     let profile_out = take_flag(&mut args, "--profile-out");
     let telemetry_out = take_flag(&mut args, "--telemetry-out");
+    // `--engine-trace-out FILE` overrides `RFP_ENGINE_TRACE`; both are
+    // validated strictly (empty value exits 2).
+    let engine_trace_out = match take_flag(&mut args, "--engine-trace-out") {
+        Some(v) => {
+            let EngineTracePath(p) = v.parse().unwrap_or_else(|e| {
+                eprintln!("error: --engine-trace-out {v:?} is not a valid value: {e}");
+                std::process::exit(2);
+            });
+            Some(p)
+        }
+        None => engine_trace_from_env(),
+    };
     // Positional length, strictly parsed — a typo like `100_000` must not
     // silently fall back to the default. `RFP_TRACE_LEN` (also strict)
     // applies when no positional length is given.
@@ -85,9 +108,15 @@ fn main() {
         CoreConfig::tiger_lake().with_oracle(OracleMode::L1ToRf),
         CoreConfig::tiger_lake().with_oracle(OracleMode::MemToLlc),
     ];
-    let outcome = run_grid_full(
+    // Same semantics as `run_grid_full`, but against an explicit pool so
+    // the engine self-tracer can be armed when a trace was requested.
+    let tracer = engine_trace_out
+        .as_ref()
+        .map(|_| Arc::new(EngineTracer::new()));
+    let pool = WarmPool::from_env(len).with_tracer(tracer.clone());
+    let outcome = run_grid_pooled(
+        &pool,
         &configs,
-        len,
         threads,
         metrics_out.is_some() || profile_out.is_some(),
     );
@@ -137,6 +166,22 @@ fn main() {
     if let Some(file) = &telemetry_out {
         write_or_die(file, &telemetry_jsonl(&outcome.telemetry));
         eprintln!("wrote {} telemetry rows to {file}", outcome.telemetry.len());
+    }
+    if let (Some(path), Some(tracer)) = (&engine_trace_out, &tracer) {
+        let pool_stats = pool.stats();
+        let store_stats = pool.store().map(|s| s.stats());
+        write_engine_trace(
+            path,
+            tracer,
+            &outcome.telemetry,
+            &pool_stats,
+            store_stats.as_ref(),
+        );
+        eprintln!(
+            "wrote engine trace ({} spans) to {} (load in Perfetto or chrome://tracing)",
+            tracer.spans().len(),
+            path.display()
+        );
     }
 
     let gs = |n: &[rfp_stats::SimReport]| geomean_speedup(&base, n).unwrap_or(1.0);

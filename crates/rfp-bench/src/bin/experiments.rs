@@ -74,11 +74,13 @@
 use std::sync::Arc;
 
 use rfp_bench::{
-    default_threads, diff_metrics_with, inspect_windows_from_env, inspect_workload,
-    render_store_stats, sampling_error_report_json, telemetry_jsonl, trace_len_from_env,
-    trace_workload_json, ExpStore, Harness, WarmPool, DEFAULT_TRACE_LEN,
+    default_threads, diff_metrics_with, engine_trace_from_env, inspect_windows_from_env,
+    inspect_workload, render_report, render_store_stats, sampling_error_report_json,
+    telemetry_jsonl, trace_len_from_env, trace_workload_json, write_engine_trace, EngineTracePath,
+    ExpStore, Harness, ReportInputs, ReportPath, WarmPool, DEFAULT_TRACE_LEN,
 };
 use rfp_core::{CoreConfig, OracleMode};
+use rfp_obs::EngineTracer;
 
 /// Extra experiment ids accepted by `run` but excluded from `all` (their
 /// stdout carries probe-derived numbers, which `all` keeps out so its
@@ -107,6 +109,10 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
     (
         "store stats | gc --max-bytes N | clear",
         "inspect / LRU-evict / empty the persistent experiment store",
+    ),
+    (
+        "report --report-out FILE [--metrics F] [--profile F] ...",
+        "fold the pipeline's JSON docs into one static HTML dashboard",
     ),
 ];
 
@@ -158,6 +164,10 @@ const SIDE_FLAGS: &[(&str, &str)] = &[
         "--konata-out FILE",
         "inspect only: Kanata 0004 pipeline log",
     ),
+    (
+        "--engine-trace-out FILE",
+        "engine self-trace (Chrome JSON + engineMetrics summary)",
+    ),
 ];
 
 /// Renders one aligned two-column table.
@@ -200,6 +210,10 @@ fn usage() -> String {
         (
             "RFP_STORE".to_string(),
             "persistent experiment store directory (off when unset)".to_string(),
+        ),
+        (
+            "RFP_ENGINE_TRACE".to_string(),
+            "engine self-trace output path (off when unset)".to_string(),
         ),
     ];
     let mut out = String::from("usage: experiments [flags] <subcommand>\n\nsubcommands:\n");
@@ -265,7 +279,48 @@ fn main() {
     // must fail the sweep's first command, not its last.
     let _ = inspect_windows_from_env();
     let _ = ExpStore::from_env();
+    let _ = engine_trace_from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // The report generator is pure file folding — dispatch before any
+    // simulation setup.
+    if args.first().map(String::as_str) == Some("report") {
+        let out = take_flag(&mut args, "--report-out").unwrap_or_else(|| {
+            eprintln!(
+                "usage: experiments report --report-out FILE [--metrics F] [--profile F] \
+                 [--sampling-report F] [--sampling-error F] [--engine-trace F] \
+                 [--telemetry F] [--bench F]"
+            );
+            std::process::exit(2);
+        });
+        let ReportPath(out) = out.parse().unwrap_or_else(|e| {
+            eprintln!("error: --report-out {out:?} is not a valid value: {e}");
+            std::process::exit(2);
+        });
+        let inputs = ReportInputs {
+            metrics: take_flag(&mut args, "--metrics").map(|p| read_or_die(&p)),
+            profile: take_flag(&mut args, "--profile").map(|p| read_or_die(&p)),
+            sampling_report: take_flag(&mut args, "--sampling-report").map(|p| read_or_die(&p)),
+            sampling_error: take_flag(&mut args, "--sampling-error").map(|p| read_or_die(&p)),
+            engine_trace: take_flag(&mut args, "--engine-trace").map(|p| read_or_die(&p)),
+            telemetry: take_flag(&mut args, "--telemetry").map(|p| read_or_die(&p)),
+            bench: take_flag(&mut args, "--bench").map(|p| read_or_die(&p)),
+        };
+        if args.len() != 1 {
+            eprintln!("error: unexpected report argument(s): {:?}", &args[1..]);
+            std::process::exit(2);
+        }
+        match render_report(&inputs) {
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+            Ok(html) => {
+                write_or_die(&out.display().to_string(), &html);
+                eprintln!("wrote dashboard to {}", out.display());
+                std::process::exit(0);
+            }
+        }
+    }
     // Store maintenance is pure filesystem work — dispatch before any
     // simulation setup.
     if args.first().map(String::as_str) == Some("store") {
@@ -411,12 +466,25 @@ fn main() {
     let collapsed_out = take_flag(&mut args, "--collapsed-out");
     let telemetry_out = take_flag(&mut args, "--telemetry-out");
     let sampling_out = take_flag(&mut args, "--sampling-report");
+    // `--engine-trace-out FILE` overrides `RFP_ENGINE_TRACE`; both are
+    // validated strictly (empty value exits 2).
+    let engine_trace_out = match take_flag(&mut args, "--engine-trace-out") {
+        Some(v) => {
+            let EngineTracePath(p) = v.parse().unwrap_or_else(|e| {
+                eprintln!("error: --engine-trace-out {v:?} is not a valid value: {e}");
+                std::process::exit(2);
+            });
+            Some(p)
+        }
+        None => engine_trace_from_env(),
+    };
     let side_outputs = trace_out.is_some()
         || metrics_out.is_some()
         || profile_out.is_some()
         || collapsed_out.is_some()
         || telemetry_out.is_some()
-        || sampling_out.is_some();
+        || sampling_out.is_some()
+        || engine_trace_out.is_some();
     if (args.is_empty() && !side_outputs) || args.iter().any(|a| a == "--help" || a == "-h") {
         eprint!("{}", usage());
         std::process::exit(if args.is_empty() && !side_outputs {
@@ -441,7 +509,15 @@ fn main() {
         ids
     };
 
-    let pool = WarmPool::from_env(len).with_store(resolve_store(store_flag.as_deref(), no_store));
+    // Arm the engine self-tracer only when an output was requested: a
+    // disarmed pool costs one branch per span site and stdout stays
+    // byte-identical either way.
+    let tracer = engine_trace_out
+        .as_ref()
+        .map(|_| Arc::new(EngineTracer::new()));
+    let pool = WarmPool::from_env(len)
+        .with_store(resolve_store(store_flag.as_deref(), no_store))
+        .with_tracer(tracer.clone());
     let mut h = Harness::with_pool(len, threads, pool);
     let t0 = std::time::Instant::now();
     // Observability passes re-simulate the RFP configs with probes
@@ -519,6 +595,22 @@ fn main() {
         }
         write_or_die(file, &out);
         eprintln!("wrote {} telemetry rows to {file}", h.job_telemetry().len());
+    }
+    if let (Some(path), Some(tracer)) = (&engine_trace_out, &tracer) {
+        let pool_stats = h.warm_pool().stats();
+        let store_stats = h.warm_pool().store().map(|s| s.stats());
+        write_engine_trace(
+            path,
+            tracer,
+            h.job_telemetry(),
+            &pool_stats,
+            store_stats.as_ref(),
+        );
+        eprintln!(
+            "wrote engine trace ({} spans) to {} (load in Perfetto or chrome://tracing)",
+            tracer.spans().len(),
+            path.display()
+        );
     }
 
     let (uops, sim_secs) = h.simulated_totals();

@@ -14,11 +14,11 @@
 //! its per-load-PC attribution profile. The stdout description is
 //! unchanged.
 //!
-//! Env (strictly parsed, malformed values exit 2): `RFP_TRACE_LEN=<uops>`
-//! and `RFP_SIM_MODE=full|sample`. The single-workload observability path
-//! here is always full-fidelity, but a malformed `RFP_SIM_MODE` still
-//! fails fast so scripts that export it for a whole pipeline can't half
-//! work.
+//! Env (strictly parsed, malformed values exit 2): `RFP_TRACE_LEN=<uops>`,
+//! `RFP_SIM_MODE=full|sample` and `RFP_ENGINE_TRACE=<path>`. The
+//! single-workload observability path here is always full-fidelity and
+//! runs no grid, but a malformed value still fails fast so scripts that
+//! export one for a whole pipeline can't half work.
 
 use rfp_stats::TextTable;
 use rfp_trace::{AddrPattern, StaticKind, WorkingSetClass, Workload};
@@ -142,9 +142,19 @@ fn main() {
     // pipeline that also runs `experiments`.
     let _ = rfp_bench::inspect_windows_from_env();
     let _ = rfp_bench::ExpStore::from_env();
+    let _ = rfp_bench::engine_trace_from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         args.drain(i..(i + 2).min(args.len()));
+    }
+    // Accept `--engine-trace-out FILE` for CLI symmetry too: this bin
+    // runs no grid, so there is no engine to trace — validated, then a
+    // documented no-op.
+    if let Some(v) = take_flag(&mut args, "--engine-trace-out") {
+        let _: rfp_bench::EngineTracePath = v.parse().unwrap_or_else(|e| {
+            eprintln!("error: --engine-trace-out {v:?} is not a valid value: {e}");
+            std::process::exit(2);
+        });
     }
     let trace_out = take_flag(&mut args, "--trace-out");
     let metrics_out = take_flag(&mut args, "--metrics-out");

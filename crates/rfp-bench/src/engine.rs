@@ -23,7 +23,7 @@ use rfp_core::{
     report_for, simulate_workload, simulate_workload_probed, simulate_workload_probed_from_trace,
     warm_up_workload, CoreConfig, VpMode, WarmState,
 };
-use rfp_obs::{CpiStackSink, MetricsSink, ProfileSink, TeeProbe};
+use rfp_obs::{CpiStackSink, EngineTracer, MetricsSink, ProfileSink, TeeProbe};
 use rfp_stats::{CoreStats, CpiReport, ObsMetrics, ProfileReport, SimReport, CPI_INTERVAL_SHIFT};
 use rfp_trace::{CompiledTrace, MicroOp, Workload};
 use rfp_types::{fnv1a_64, json_escape};
@@ -359,7 +359,8 @@ impl WarmPoolStats {
             WarmMode::Checkpoint => "checkpoint",
         };
         format!(
-            "{{\"warm_pool\":{{\"mode\":\"{mode}\",\"snapshot_hits\":{},\
+            "{{\"warm_pool\":{{\"schema\":{TELEMETRY_SCHEMA_VERSION},\
+             \"mode\":\"{mode}\",\"snapshot_hits\":{},\
              \"snapshot_misses\":{},\"transplants\":{},\"trace_builds\":{},\
              \"live_snapshots\":{},\"live_snapshot_bytes\":{}}}}}\n",
             self.snapshot_hits,
@@ -395,6 +396,11 @@ pub struct WarmPool {
     /// before being built (and published after), and the grid runner
     /// checks it for finished job results before simulating at all.
     store: Option<Arc<ExpStore>>,
+    /// Engine self-tracer ([`EngineTracer`]), when armed: the pool and
+    /// the grid runner record spans for trace compiles, warm captures,
+    /// store traffic and job lifecycle. `None` (the default) keeps the
+    /// cost to one branch per site.
+    tracer: Option<Arc<EngineTracer>>,
     pinned: Mutex<HashSet<u64>>,
     traces: Mutex<HashMap<usize, Arc<CompiledTrace>>>,
     plans: Mutex<HashMap<usize, Arc<SamplePlan>>>,
@@ -434,6 +440,7 @@ impl WarmPool {
             measured: len,
             warmup: len / 2,
             store: None,
+            tracer: None,
             pinned: Mutex::new(HashSet::new()),
             traces: Mutex::new(HashMap::new()),
             plans: Mutex::new(HashMap::new()),
@@ -465,6 +472,20 @@ impl WarmPool {
     /// The pool's persistent store, when configured.
     pub fn store(&self) -> Option<&Arc<ExpStore>> {
         self.store.as_ref()
+    }
+
+    /// Arms (or disarms, with `None`) the engine self-tracer. Tracing
+    /// never changes simulated results — spans carry only engine-side
+    /// counters, and wall times stay in the spans' timing stratum — so
+    /// `experiments all` output is byte-identical tracer on or off.
+    pub fn with_tracer(mut self, tracer: Option<Arc<EngineTracer>>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The pool's engine self-tracer, when armed.
+    pub fn tracer(&self) -> Option<&Arc<EngineTracer>> {
+        self.tracer.as_ref()
     }
 
     /// The pool's sharing mode.
@@ -526,20 +547,54 @@ impl WarmPool {
         // of a job's simulation time, and building once beats racing
         // builds.
         let total = self.measured + self.warmup;
+        let name = suite[wi].name;
+        let t0 = self.tracer.as_ref().map(|tr| tr.now_nanos());
+        let span = |outcome: &'static str, fields: Vec<(&'static str, u64)>| {
+            if let (Some(tr), Some(t0)) = (&self.tracer, t0) {
+                tr.record("trace-compile", name.to_string(), outcome, fields, 0, t0);
+            }
+        };
         let t = if let Some(s) = &self.store {
-            let key = store::trace_key(total, self.warmup, SAMPLE_INTERVAL_UOPS, suite[wi].name);
+            let key = store::trace_key(total, self.warmup, SAMPLE_INTERVAL_UOPS, name);
             match s.get::<CompiledTrace>(Tier::Trace, &key) {
-                Some((t, _)) => Arc::new(t),
+                Some((t, n)) => {
+                    if let Some(tr) = &self.tracer {
+                        tr.instant(
+                            "store-get",
+                            format!("trace|{name}"),
+                            "hit",
+                            vec![("bytes", n)],
+                            0,
+                        );
+                    }
+                    span("store-hit", vec![("uops", total), ("bytes", n)]);
+                    Arc::new(t)
+                }
                 None => {
+                    if let Some(tr) = &self.tracer {
+                        tr.instant("store-get", format!("trace|{name}"), "miss", vec![], 0);
+                    }
                     self.trace_builds.fetch_add(1, Ordering::Relaxed);
                     let t = suite[wi].compiled(total, self.warmup, SAMPLE_INTERVAL_UOPS);
-                    s.put(Tier::Trace, &key, &t);
+                    let written = s.put(Tier::Trace, &key, &t);
+                    if let Some(tr) = &self.tracer {
+                        tr.instant(
+                            "store-put",
+                            format!("trace|{name}"),
+                            "published",
+                            vec![("bytes", written)],
+                            0,
+                        );
+                    }
+                    span("built", vec![("uops", total)]);
                     Arc::new(t)
                 }
             }
         } else {
             self.trace_builds.fetch_add(1, Ordering::Relaxed);
-            Arc::new(suite[wi].compiled(total, self.warmup, SAMPLE_INTERVAL_UOPS))
+            let t = Arc::new(suite[wi].compiled(total, self.warmup, SAMPLE_INTERVAL_UOPS));
+            span("built", vec![("uops", total)]);
+            t
         };
         traces.insert(wi, Arc::clone(&t));
         t
@@ -578,28 +633,72 @@ impl WarmPool {
         let state = cell.get_or_init(|| {
             built = true;
             self.snapshot_misses.fetch_add(1, Ordering::Relaxed);
+            let name = suite[wi].name;
+            let t0 = self.tracer.as_ref().map(|tr| tr.now_nanos());
+            let span = |outcome: &'static str, fields: Vec<(&'static str, u64)>| {
+                if let (Some(tr), Some(t0)) = (&self.tracer, t0) {
+                    tr.record(
+                        "warm-capture",
+                        format!("{name}|{key:016x}"),
+                        outcome,
+                        fields,
+                        0,
+                        t0,
+                    );
+                }
+            };
             // The persistent store is checked under the *projection* key:
             // configs sharing a projection produce bit-identical warm
             // state, so a snapshot persisted by one serves them all —
             // across sweeps and processes, not just within this grid.
             if let Some(s) = &self.store {
-                let skey =
-                    store::warm_snapshot_key(self.warmup, suite[wi].name, &warm_projection(cfg));
-                if let Some((ws, _)) = s.get::<WarmState>(Tier::Warm, &skey) {
+                let skey = store::warm_snapshot_key(self.warmup, name, &warm_projection(cfg));
+                if let Some((ws, n)) = s.get::<WarmState>(Tier::Warm, &skey) {
+                    if let Some(tr) = &self.tracer {
+                        tr.instant(
+                            "store-get",
+                            format!("warm|{name}|{key:016x}"),
+                            "hit",
+                            vec![("bytes", n)],
+                            0,
+                        );
+                    }
+                    span("store-hit", vec![("warmup", self.warmup), ("bytes", n)]);
                     return Arc::new(ws);
+                }
+                if let Some(tr) = &self.tracer {
+                    tr.instant(
+                        "store-get",
+                        format!("warm|{name}|{key:016x}"),
+                        "miss",
+                        vec![],
+                        0,
+                    );
                 }
                 let trace = self.trace(suite, wi);
                 let ws =
                     warm_up_workload(cfg, &suite[wi], self.warmup, trace.ops().iter().copied())
                         .expect("valid config");
-                s.put(Tier::Warm, &skey, &ws);
+                let written = s.put(Tier::Warm, &skey, &ws);
+                if let Some(tr) = &self.tracer {
+                    tr.instant(
+                        "store-put",
+                        format!("warm|{name}|{key:016x}"),
+                        "published",
+                        vec![("bytes", written)],
+                        0,
+                    );
+                }
+                span("built", vec![("warmup", self.warmup)]);
                 return Arc::new(ws);
             }
             let trace = self.trace(suite, wi);
-            Arc::new(
+            let ws = Arc::new(
                 warm_up_workload(cfg, &suite[wi], self.warmup, trace.ops().iter().copied())
                     .expect("valid config"),
-            )
+            );
+            span("built", vec![("warmup", self.warmup)]);
+            ws
         });
         if !built {
             self.snapshot_hits.fetch_add(1, Ordering::Relaxed);
@@ -1099,6 +1198,21 @@ pub fn run_grid_pooled(
                         let (wi, ci) = (claim / n_configs, claim % n_configs);
                         let job = ci * n_workloads + wi;
                         let t0 = Instant::now();
+                        let lane = worker as u32 + 1;
+                        let cell = || format!("{}|cfg{}", suite[wi].name, ci);
+                        if let Some(tr) = pool.tracer() {
+                            tr.instant(
+                                "claim",
+                                cell(),
+                                "claimed",
+                                vec![
+                                    ("claim", claim as u64),
+                                    ("queue_depth", (n_jobs - claim) as u64),
+                                ],
+                                lane,
+                            );
+                        }
+                        let sim_start = pool.tracer().map(|tr| tr.now_nanos());
                         // Persistent-store fast path: a verified result
                         // entry replaces the whole simulation. On a miss
                         // the freshly simulated report is published so
@@ -1115,8 +1229,28 @@ pub fn run_grid_pooled(
                                     &configs[ci],
                                 );
                                 match s.get::<SimReport>(Tier::Result, &key) {
-                                    Some((r, n)) => (r, "store", "hit", n, 0),
+                                    Some((r, n)) => {
+                                        if let Some(tr) = pool.tracer() {
+                                            tr.instant(
+                                                "store-get",
+                                                format!("result|{}", cell()),
+                                                "hit",
+                                                vec![("bytes", n)],
+                                                lane,
+                                            );
+                                        }
+                                        (r, "store", "hit", n, 0)
+                                    }
                                     None => {
+                                        if let Some(tr) = pool.tracer() {
+                                            tr.instant(
+                                                "store-get",
+                                                format!("result|{}", cell()),
+                                                "miss",
+                                                vec![],
+                                                lane,
+                                            );
+                                        }
                                         let (r, warm) = pooled_job(
                                             pool,
                                             &configs[ci],
@@ -1126,6 +1260,15 @@ pub fn run_grid_pooled(
                                             collect_obs,
                                         );
                                         let written = s.put(Tier::Result, &key, &r);
+                                        if let Some(tr) = pool.tracer() {
+                                            tr.instant(
+                                                "store-put",
+                                                format!("result|{}", cell()),
+                                                "published",
+                                                vec![("bytes", written)],
+                                                lane,
+                                            );
+                                        }
                                         (r, warm, "miss", 0, written)
                                     }
                                 }
@@ -1142,6 +1285,16 @@ pub fn run_grid_pooled(
                                 (r, warm, "off", 0, 0)
                             }
                         };
+                        if let (Some(tr), Some(s0)) = (pool.tracer(), sim_start) {
+                            tr.record(
+                                "simulate",
+                                cell(),
+                                warm,
+                                vec![("obs", u64::from(collect_obs))],
+                                lane,
+                                s0,
+                            );
+                        }
                         if (pool.mode() != WarmMode::Off || pool.sim() == SimMode::Sample)
                             && remaining[wi].fetch_sub(1, Ordering::AcqRel) == 1
                         {
@@ -1174,6 +1327,7 @@ pub fn run_grid_pooled(
     });
 
     // Order-stable reduction: each job index is produced exactly once.
+    let reduce_start = pool.tracer().map(|tr| tr.now_nanos());
     let mut slots: Vec<Option<SimReport>> = vec![None; n_jobs];
     let mut telemetry = Vec::with_capacity(n_jobs);
     for (report, tel) in per_worker.into_iter().flatten() {
@@ -1192,18 +1346,56 @@ pub fn run_grid_pooled(
                 .collect()
         })
         .collect();
+    if let (Some(tr), Some(r0)) = (pool.tracer(), reduce_start) {
+        tr.record(
+            "reduce",
+            "grid".to_string(),
+            "ok",
+            vec![
+                ("jobs", n_jobs as u64),
+                ("configs", n_configs as u64),
+                ("workloads", n_workloads as u64),
+            ],
+            0,
+            r0,
+        );
+        // Host-dependent schedule facts go to the quarantined timing
+        // counters, never into span fields: worker count, claim-order
+        // worker handoffs ("steals"), and summed job wall time.
+        tr.timing_max("workers", threads as u64);
+        tr.timing_counter(
+            "wall_nanos",
+            telemetry.iter().map(|t| t.wall_nanos).sum::<u64>(),
+        );
+        let mut by_claim: Vec<(usize, usize)> = telemetry
+            .iter()
+            .map(|t| (n_jobs - t.queue_depth, t.worker))
+            .collect();
+        by_claim.sort_unstable();
+        let steals = by_claim.windows(2).filter(|w| w[0].1 != w[1].1).count() as u64;
+        tr.timing_counter("steals", steals);
+    }
     GridOutcome { reports, telemetry }
 }
 
+/// Schema version of the engine's JSONL side channels: the per-job
+/// telemetry lines and the `warm_pool`/`store` summary blocks appended
+/// to `--telemetry-out` streams. Bump whenever a field is added,
+/// removed or reinterpreted.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
+
 /// Renders job telemetry as JSONL (one object per line), ready for
-/// `--telemetry-out` or ad-hoc analysis with `jq`.
+/// `--telemetry-out` or ad-hoc analysis with `jq`. Workload names pass
+/// through [`json_escape`], so names with quotes or backslashes stay
+/// valid JSON.
 pub fn telemetry_jsonl(telemetry: &[JobTelemetry]) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     for t in telemetry {
         writeln!(
             out,
-            "{{\"job\":{},\"config\":{},\"workload\":\"{}\",\"worker\":{},\
+            "{{\"schema\":{TELEMETRY_SCHEMA_VERSION},\
+             \"job\":{},\"config\":{},\"workload\":\"{}\",\"worker\":{},\
              \"queue_depth\":{},\"wall_nanos\":{},\"warm\":\"{}\",\
              \"store\":\"{}\",\"store_bytes_read\":{},\"store_bytes_written\":{}}}",
             t.job,
@@ -1461,7 +1653,7 @@ mod tests {
         let s = telemetry_jsonl(&rows);
         assert_eq!(
             s,
-            "{\"job\":3,\"config\":1,\"workload\":\"w\\\"x\",\"worker\":0,\
+            "{\"schema\":1,\"job\":3,\"config\":1,\"workload\":\"w\\\"x\",\"worker\":0,\
              \"queue_depth\":7,\"wall_nanos\":42,\"warm\":\"fork\",\
              \"store\":\"hit\",\"store_bytes_read\":9,\"store_bytes_written\":0}\n"
         );

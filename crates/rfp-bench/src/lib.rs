@@ -20,7 +20,9 @@
 
 mod diff;
 mod engine;
+mod engine_trace;
 mod inspect;
+mod report;
 mod store;
 
 use std::collections::{HashMap, HashSet};
@@ -43,9 +45,13 @@ pub use engine::{
     run_grid_full, run_grid_obs, run_grid_pooled, telemetry_jsonl, trace_len_from_env,
     update_bench_json, warm_key, warm_projection, warm_twin, GridOutcome, JobTelemetry,
     SamplePhase, SamplePlan, SimMode, WarmMode, WarmPool, WarmPoolStats, SAMPLE_INTERVAL_UOPS,
-    SAMPLE_WARM_PREFIX,
+    SAMPLE_WARM_PREFIX, TELEMETRY_SCHEMA_VERSION,
+};
+pub use engine_trace::{
+    engine_metrics, engine_trace_from_env, engine_trace_json, write_engine_trace, EngineTracePath,
 };
 pub use inspect::{inspect_workload, InspectOutcome, INSPECT_LEAD_UOPS};
+pub use report::{render_report, ReportInputs, ReportPath};
 pub use store::{
     render_store_stats, result_key, trace_key, warm_snapshot_key, ExpStore, StoreDir, StoreStats,
     Tier, TierUsage, STORE_SCHEMA_VERSION,

@@ -107,9 +107,14 @@ impl StoreStats {
     /// actually served (mirrors `WarmPoolStats::jsonl_line`).
     pub fn jsonl_line(&self) -> String {
         format!(
-            "{{\"store\":{{\"hits\":{},\"misses\":{},\"corrupt\":{},\
+            "{{\"store\":{{\"schema\":{},\"hits\":{},\"misses\":{},\"corrupt\":{},\
              \"bytes_read\":{},\"bytes_written\":{}}}}}\n",
-            self.hits, self.misses, self.corrupt, self.bytes_read, self.bytes_written,
+            crate::engine::TELEMETRY_SCHEMA_VERSION,
+            self.hits,
+            self.misses,
+            self.corrupt,
+            self.bytes_read,
+            self.bytes_written,
         )
     }
 }

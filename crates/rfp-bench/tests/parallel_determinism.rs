@@ -405,6 +405,88 @@ fn sampled_single_config_grid_forks_its_own_twin() {
     }
 }
 
+#[test]
+fn engine_spans_are_deterministic_across_threads_and_warm_modes() {
+    // The engine self-tracer's deterministic stratum — the sorted
+    // (kind, key, outcome, fields) multiset — must be byte-identical at
+    // every thread count, in every warm mode. Timing and lanes are
+    // excluded by construction, so this holds even though span arrival
+    // order and durations differ wildly between runs.
+    use rfp_obs::EngineTracer;
+    use std::sync::Arc;
+    let a = CoreConfig::tiger_lake().with_rfp();
+    let mut b = a.clone();
+    b.seed ^= 0x5eed;
+    let configs = [a, b];
+    let len = 1_500;
+    for mode in [WarmMode::Off, WarmMode::Exact, WarmMode::Checkpoint] {
+        let mut reference: Option<String> = None;
+        for threads in [1, 2, 8] {
+            let tracer = Arc::new(EngineTracer::new());
+            let pool = WarmPool::new(mode, len).with_tracer(Some(tracer.clone()));
+            let _ = run_grid_pooled(&pool, &configs, threads, false);
+            assert_eq!(tracer.dropped(), 0);
+            let text = tracer.deterministic_text();
+            assert!(text.contains("claim "), "{mode:?}: no claim spans");
+            assert!(text.contains("simulate "), "{mode:?}: no simulate spans");
+            assert!(text.contains("reduce grid ok"), "{mode:?}: no reduce span");
+            if mode != WarmMode::Off {
+                assert!(
+                    text.contains("trace-compile ") && text.contains("warm-capture "),
+                    "{mode:?}: pool spans missing"
+                );
+            }
+            match &reference {
+                None => reference = Some(text),
+                Some(r) => assert_eq!(&text, r, "{mode:?} threads={threads}: span text diverged"),
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_trace_json_parses_and_report_renders_deterministically() {
+    // End-to-end over a real grid: the Chrome-trace document must parse
+    // under the repo's own JSON parser with the engineMetrics summary
+    // embedded, and the HTML dashboard folding it must be
+    // byte-deterministic with balanced structure.
+    use rfp_bench::{engine_metrics, engine_trace_json, parse_json, render_report, ReportInputs};
+    use rfp_obs::EngineTracer;
+    use std::sync::Arc;
+    // Two configs sharing warm projections: with a single config no
+    // snapshot key repeats, so the planner sends every job down the
+    // straight path and nothing is ever captured.
+    let a = CoreConfig::tiger_lake().with_rfp();
+    let mut b = a.clone();
+    b.seed ^= 0x5eed;
+    let configs = [a, b];
+    let tracer = Arc::new(EngineTracer::new());
+    let pool = WarmPool::new(WarmMode::Exact, LEN).with_tracer(Some(tracer.clone()));
+    let outcome = run_grid_pooled(&pool, &configs, 4, false);
+    let metrics = engine_metrics(&tracer, &outcome.telemetry, &pool.stats(), None);
+    assert_eq!(metrics.jobs, outcome.telemetry.len() as u64);
+    assert!(metrics.snapshot_misses > 0);
+    let doc = engine_trace_json(&tracer, &metrics);
+    let parsed = parse_json(&doc).expect("engine trace must be valid JSON");
+    let flat = rfp_bench::flatten(&parsed);
+    assert!(flat.keys().any(|k| k.starts_with("traceEvents")));
+    assert!(flat.contains_key("otherData.engineMetrics.jobs"));
+    assert!(flat.contains_key("otherData.engineMetrics.timing.workers"));
+    let inputs = ReportInputs {
+        engine_trace: Some(doc),
+        telemetry: Some(rfp_bench::telemetry_jsonl(&outcome.telemetry)),
+        ..Default::default()
+    };
+    let html = render_report(&inputs).expect("report renders");
+    assert_eq!(html, render_report(&inputs).expect("report renders"));
+    assert!(html.contains("<section id=\"engine\">"));
+    assert_eq!(
+        html.matches("<section").count(),
+        html.matches("</section>").count()
+    );
+    assert!(html.contains(&format!("{} telemetry rows.", outcome.telemetry.len())));
+}
+
 mod persistent_store {
     //! The persistent experiment store must be invisible in the output:
     //! a sweep with the store off, cold (publishing) or warm (serving
@@ -641,6 +723,57 @@ mod persistent_store {
         for (row, (g, r)) in healed.reports.iter().zip(&reference_bytes).enumerate() {
             assert_eq!(&canonical_bytes(g), r, "row={row}: healed run diverged");
         }
+    }
+
+    #[test]
+    fn engine_spans_are_deterministic_across_store_states_and_threads() {
+        // Store traffic spans key on content addresses, so their
+        // deterministic stratum is thread-invariant for a fixed store
+        // state: cold runs (fresh directory per thread count) agree with
+        // each other, warm runs (one shared fill) agree with each other,
+        // and the two strata differ (miss/publish vs hit).
+        use rfp_obs::EngineTracer;
+        let configs = [
+            CoreConfig::tiger_lake(),
+            CoreConfig::tiger_lake().with_rfp(),
+        ];
+        let len = 1_500;
+        let run = |store: Arc<ExpStore>, threads: usize| -> String {
+            let tracer = Arc::new(EngineTracer::new());
+            let pool = WarmPool::new(WarmMode::Exact, len)
+                .with_store(Some(store))
+                .with_tracer(Some(tracer.clone()));
+            let _ = run_grid_pooled(&pool, &configs, threads, false);
+            tracer.deterministic_text()
+        };
+        let mut cold_ref: Option<String> = None;
+        for threads in [1, 2, 8] {
+            let scratch = Scratch::new(&format!("span-cold-t{threads}"));
+            let text = run(scratch.open(), threads);
+            assert!(text.contains("store-get result|"));
+            assert!(text.contains("store-put result|"));
+            assert!(text.contains("store-get warm|"));
+            assert!(text.contains("store-get trace|"));
+            match &cold_ref {
+                None => cold_ref = Some(text),
+                Some(r) => assert_eq!(&text, r, "cold threads={threads} diverged"),
+            }
+        }
+        let scratch = Scratch::new("span-warm");
+        {
+            let pool = WarmPool::new(WarmMode::Exact, len).with_store(Some(scratch.open()));
+            let _ = run_grid_pooled(&pool, &configs, 2, false);
+        }
+        let mut warm_ref: Option<String> = None;
+        for threads in [1, 2, 8] {
+            let text = run(scratch.open(), threads);
+            assert!(text.contains(" hit "), "warm run must hit the store");
+            match &warm_ref {
+                None => warm_ref = Some(text),
+                Some(r) => assert_eq!(&text, r, "warm threads={threads} diverged"),
+            }
+        }
+        assert_ne!(cold_ref, warm_ref, "cold and warm strata must differ");
     }
 
     /// Byte offset of the schema-version word in an entry (after the

@@ -1,0 +1,381 @@
+//! Self-tracing for the *experiment engine* (the work-stealing grid,
+//! warm pool, compiled-trace cache and persistent store in `rfp-bench`),
+//! as opposed to the simulated pipeline the [`Probe`](crate::Probe)
+//! machinery observes.
+//!
+//! The tracer records flat [`EngineSpan`]s. Each span separates its
+//! payload into two strata with different determinism contracts:
+//!
+//! * **Deterministic fields** — `kind`, `key`, `outcome` and the
+//!   `fields` counter list. For a fixed grid and store state these form
+//!   a multiset that is byte-identical across worker-thread counts
+//!   (enforced by `tests/parallel_determinism.rs` through
+//!   [`EngineTracer::deterministic_text`], which sorts spans and never
+//!   renders timing).
+//! * **Timing** — `lane`, `start_nanos`, `dur_nanos` and the named
+//!   [timing counters](EngineTracer::timing_counter). Host- and
+//!   schedule-dependent; rendered only into the Chrome-trace export and
+//!   the quarantined `timing` sections downstream.
+//!
+//! The Chrome-trace export mirrors the envelope of
+//! [`ChromeTraceSink`](crate::ChromeTraceSink) (`traceEvents` +
+//! `displayTimeUnit` + `otherData`), so Perfetto and `chrome://tracing`
+//! open engine traces exactly like pipeline traces.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default cap on recorded spans; spans past the cap are counted in
+/// `otherData.dropped_events` but not stored (mirrors
+/// [`crate::chrome::DEFAULT_MAX_EVENTS`]'s role for pipeline traces).
+pub const DEFAULT_MAX_SPANS: usize = 500_000;
+
+/// One engine event: a job claim, a store lookup, a warm-state capture,
+/// a simulation, a grid reduction. See the
+/// [module docs](self) for the deterministic-vs-timing field contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSpan {
+    /// Span taxonomy name (`claim`, `store-get`, `store-put`,
+    /// `trace-compile`, `warm-capture`, `simulate`, `reduce`, ...).
+    pub kind: &'static str,
+    /// Deterministic identity of the traced entity (workload, store-key
+    /// prefix, grid cell) — never a worker or wall-clock value.
+    pub key: String,
+    /// Deterministic outcome tag (`hit` / `miss` / `built` / warm-path
+    /// arm / ...).
+    pub outcome: &'static str,
+    /// Named deterministic counters (byte counts, uop counts, depths).
+    pub fields: Vec<(&'static str, u64)>,
+    /// Display lane (0 = engine/pool internal, `worker + 1` for
+    /// job-scoped spans). Timing stratum: schedule-dependent.
+    pub lane: u32,
+    /// Span start, nanoseconds since tracer creation. Timing stratum.
+    pub start_nanos: u64,
+    /// Span duration in nanoseconds (0 renders as an instant event).
+    /// Timing stratum.
+    pub dur_nanos: u64,
+}
+
+/// Lock-protected span recorder shared across grid workers.
+///
+/// Disarmed cost is a single `Option` branch at each call site (the
+/// engine holds an `Option<Arc<EngineTracer>>`); armed cost is one
+/// mutex push per span, far off any simulation hot loop.
+#[derive(Debug)]
+pub struct EngineTracer {
+    t0: Instant,
+    max_spans: usize,
+    spans: Mutex<Vec<EngineSpan>>,
+    dropped: AtomicU64,
+    /// Named host-dependent counters (steal counts, worker counts),
+    /// kept apart from span fields so they can never leak into the
+    /// deterministic rendering.
+    timing: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl Default for EngineTracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineTracer {
+    /// A tracer with the default span cap.
+    pub fn new() -> Self {
+        Self::with_max_spans(DEFAULT_MAX_SPANS)
+    }
+
+    /// A tracer keeping at most `max_spans` spans; later records are
+    /// counted as dropped.
+    pub fn with_max_spans(max_spans: usize) -> Self {
+        EngineTracer {
+            t0: Instant::now(),
+            max_spans,
+            spans: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            timing: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Nanoseconds since tracer creation — capture before the traced
+    /// work, pass to [`EngineTracer::record`] after.
+    pub fn now_nanos(&self) -> u64 {
+        self.t0.elapsed().as_nanos() as u64
+    }
+
+    /// Records a span that started at `start_nanos` (from
+    /// [`EngineTracer::now_nanos`]) and just finished.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        kind: &'static str,
+        key: String,
+        outcome: &'static str,
+        fields: Vec<(&'static str, u64)>,
+        lane: u32,
+        start_nanos: u64,
+    ) {
+        let dur_nanos = self.now_nanos().saturating_sub(start_nanos);
+        self.push(EngineSpan {
+            kind,
+            key,
+            outcome,
+            fields,
+            lane,
+            start_nanos,
+            dur_nanos,
+        });
+    }
+
+    /// Records a zero-duration (instant) span at the current time.
+    pub fn instant(
+        &self,
+        kind: &'static str,
+        key: String,
+        outcome: &'static str,
+        fields: Vec<(&'static str, u64)>,
+        lane: u32,
+    ) {
+        let start_nanos = self.now_nanos();
+        self.push(EngineSpan {
+            kind,
+            key,
+            outcome,
+            fields,
+            lane,
+            start_nanos,
+            dur_nanos: 0,
+        });
+    }
+
+    fn push(&self, span: EngineSpan) {
+        let mut spans = self.spans.lock().expect("span lock");
+        if spans.len() < self.max_spans {
+            spans.push(span);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` to the named host-dependent timing counter.
+    pub fn timing_counter(&self, name: &'static str, delta: u64) {
+        let mut t = self.timing.lock().expect("timing lock");
+        *t.entry(name).or_insert(0) += delta;
+    }
+
+    /// Raises the named timing counter to at least `value` (max
+    /// semantics — for worker counts across merged grids).
+    pub fn timing_max(&self, name: &'static str, value: u64) {
+        let mut t = self.timing.lock().expect("timing lock");
+        let e = t.entry(name).or_insert(0);
+        *e = (*e).max(value);
+    }
+
+    /// Snapshot of the named timing counters.
+    pub fn timing_counters(&self) -> BTreeMap<&'static str, u64> {
+        self.timing.lock().expect("timing lock").clone()
+    }
+
+    /// Spans recorded so far, in arrival order (schedule-dependent).
+    pub fn spans(&self) -> Vec<EngineSpan> {
+        self.spans.lock().expect("span lock").clone()
+    }
+
+    /// Spans discarded past the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The deterministic stratum as text: one line per span, sorted by
+    /// `(kind, key, outcome, fields)`, with lane/timing excluded by
+    /// construction. For a fixed grid and store state this string is
+    /// byte-identical at every worker-thread count — the determinism
+    /// tests compare it directly.
+    pub fn deterministic_text(&self) -> String {
+        let mut spans = self.spans();
+        spans.sort_by(|a, b| {
+            (a.kind, &a.key, a.outcome, &a.fields).cmp(&(b.kind, &b.key, b.outcome, &b.fields))
+        });
+        let mut out = String::new();
+        for s in &spans {
+            out.push_str(s.kind);
+            out.push(' ');
+            out.push_str(&s.key);
+            out.push(' ');
+            out.push_str(s.outcome);
+            for (name, v) in &s.fields {
+                out.push_str(&format!(" {name}={v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the trace as a Chrome trace-event JSON document with
+    /// the same envelope as
+    /// [`ChromeTraceSink::into_json`](crate::ChromeTraceSink::into_json):
+    /// `traceEvents` (metadata + `X`/`i` events), `displayTimeUnit`, and
+    /// an `otherData` object. `extra_other_data` entries (key, raw JSON
+    /// value) are appended to `otherData` — callers embed summaries like
+    /// an engine-metrics document there; trace viewers ignore unknown
+    /// keys.
+    pub fn to_chrome_json(&self, extra_other_data: &[(&str, String)]) -> String {
+        let spans = self.spans();
+        let mut lanes = 1u64;
+        let mut events = Vec::with_capacity(spans.len());
+        for s in &spans {
+            lanes = lanes.max(s.lane as u64 + 1);
+            let mut args = format!("\"outcome\":\"{}\"", s.outcome);
+            for (name, v) in &s.fields {
+                args.push_str(&format!(",\"{name}\":{v}"));
+            }
+            let ts = s.start_nanos / 1_000;
+            if s.dur_nanos == 0 {
+                events.push(format!(
+                    "{{\"name\":\"{}: {}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\
+                     \"tid\":{},\"ts\":{ts},\"args\":{{{args}}}}}",
+                    s.kind, s.key, s.lane
+                ));
+            } else {
+                events.push(format!(
+                    "{{\"name\":\"{}: {}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+                     \"ts\":{ts},\"dur\":{},\"args\":{{{args}}}}}",
+                    s.kind,
+                    s.key,
+                    s.lane,
+                    (s.dur_nanos / 1_000).max(1)
+                ));
+            }
+        }
+        let mut out = String::with_capacity(64 + events.len() * 160);
+        out.push_str("{\"traceEvents\":[\n");
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\
+             \"args\":{\"name\":\"rfp-engine\"}},\n",
+        );
+        for (i, e) in events.iter().enumerate() {
+            out.push_str(e);
+            if i + 1 < events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        let mut other = format!(
+            "\"nanos_per_us\":1000,\"lanes\":{lanes},\"dropped_events\":{}",
+            self.dropped()
+        );
+        for (name, &v) in &self.timing_counters() {
+            other.push_str(&format!(",\"timing_{name}\":{v}"));
+        }
+        for (k, v) in extra_other_data {
+            other.push_str(&format!(",\"{k}\":{v}"));
+        }
+        out.push_str(&format!(
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{{other}}}}}\n"
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traced() -> EngineTracer {
+        let t = EngineTracer::new();
+        let s0 = t.now_nanos();
+        t.record(
+            "store-get",
+            "result|w1".into(),
+            "hit",
+            vec![("bytes", 42)],
+            2,
+            s0,
+        );
+        t.instant("claim", "w1|cfg0".into(), "claimed", vec![("depth", 7)], 2);
+        t.record(
+            "simulate",
+            "w0|cfg0".into(),
+            "fork",
+            vec![("obs", 0)],
+            1,
+            s0,
+        );
+        t
+    }
+
+    #[test]
+    fn deterministic_text_sorts_and_hides_timing() {
+        let t = traced();
+        let text = t.deterministic_text();
+        // Sorted by (kind, key, ...): claim < simulate < store-get.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "claim w1|cfg0 claimed depth=7",
+                "simulate w0|cfg0 fork obs=0",
+                "store-get result|w1 hit bytes=42",
+            ]
+        );
+        // Recording in a different order yields the same bytes.
+        let u = EngineTracer::new();
+        u.record(
+            "simulate",
+            "w0|cfg0".into(),
+            "fork",
+            vec![("obs", 0)],
+            9,
+            u.now_nanos(),
+        );
+        u.record(
+            "store-get",
+            "result|w1".into(),
+            "hit",
+            vec![("bytes", 42)],
+            1,
+            u.now_nanos(),
+        );
+        u.instant("claim", "w1|cfg0".into(), "claimed", vec![("depth", 7)], 4);
+        assert_eq!(text, u.deterministic_text());
+    }
+
+    #[test]
+    fn span_cap_counts_drops() {
+        let t = EngineTracer::with_max_spans(2);
+        for i in 0..5 {
+            t.instant("claim", format!("j{i}"), "claimed", vec![], 0);
+        }
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let json = t.to_chrome_json(&[]);
+        assert!(json.contains("\"dropped_events\":3"));
+    }
+
+    #[test]
+    fn chrome_json_mirrors_sink_envelope() {
+        let t = traced();
+        t.timing_counter("steals", 3);
+        t.timing_max("workers", 2);
+        let json = t.to_chrome_json(&[("engineMetrics", "{\"jobs\":3}".to_string())]);
+        assert!(json.starts_with("{\"traceEvents\":[\n"));
+        assert!(json.contains("\"name\":\"process_name\",\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"claim: w1|cfg0\",\"ph\":\"i\",\"s\":\"t\""));
+        assert!(json.contains("\"name\":\"simulate: w0|cfg0\",\"ph\":\"X\""));
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+        assert!(json.contains("\"timing_steals\":3"));
+        assert!(json.contains("\"timing_workers\":2"));
+        assert!(json.contains("\"engineMetrics\":{\"jobs\":3}"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn timing_counters_never_reach_deterministic_text() {
+        let t = traced();
+        t.timing_counter("steals", 99);
+        assert!(!t.deterministic_text().contains("steals"));
+        assert!(!t.deterministic_text().contains("99"));
+    }
+}

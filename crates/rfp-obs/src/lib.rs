@@ -42,12 +42,14 @@
 
 mod chrome;
 mod cpi_sink;
+mod engine_tracer;
 mod flight;
 mod metrics;
 mod profile_sink;
 
 pub use chrome::ChromeTraceSink;
 pub use cpi_sink::CpiStackSink;
+pub use engine_tracer::{EngineSpan, EngineTracer, DEFAULT_MAX_SPANS};
 pub use flight::{FlightRecorder, RfpOutcome, UopRecord};
 pub use metrics::MetricsSink;
 pub use profile_sink::ProfileSink;

@@ -949,6 +949,178 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// Schema version of the [`EngineMetrics`] JSON document. Bump whenever
+/// a field is added, removed or reinterpreted so downstream consumers
+/// (the report dashboard, the future experiment service) can dispatch.
+pub const ENGINE_METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// Number of store tiers an [`EngineMetrics`] tracks per-tier counters
+/// for (result / warm / trace, matching `rfp-bench`'s `Tier::ALL`).
+pub const ENGINE_STORE_TIERS: usize = 3;
+
+/// Tier labels for the per-tier arrays, in index order.
+pub const ENGINE_STORE_TIER_LABELS: [&str; ENGINE_STORE_TIERS] = ["result", "warm", "trace"];
+
+/// Host-side timing section of an [`EngineMetrics`]: everything here is
+/// schedule- and machine-dependent (worker counts, steal counts, wall
+/// time) and therefore quarantined in its own sub-object, away from the
+/// deterministic counters — mirroring the `JobTelemetry` / `SimReport`
+/// split the engine already maintains.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineTiming {
+    /// Largest worker-thread count any merged grid ran with.
+    pub workers: u64,
+    /// Claim-order worker handoffs: jobs grabbed by a different worker
+    /// than the previous claim (the work-stealing churn proxy).
+    pub steals: u64,
+    /// Host wall nanoseconds summed over jobs (CPU-time when parallel).
+    pub wall_nanos: u64,
+}
+
+impl EngineTiming {
+    /// Merges `other` into `self`: counts add, `workers` takes the max.
+    pub fn merge(&mut self, other: &EngineTiming) {
+        self.workers = self.workers.max(other.workers);
+        self.steals += other.steals;
+        self.wall_nanos += other.wall_nanos;
+    }
+
+    /// Hand-written JSON rendering (the workspace builds without serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workers\":{},\"steals\":{},\"wall_nanos\":{}}}",
+            self.workers, self.steals, self.wall_nanos
+        )
+    }
+}
+
+/// Versioned summary of the *experiment engine's* own behaviour over one
+/// or more grid runs: job counts per warm-path arm, warm-pool and
+/// persistent-store hit rates (per store tier), and the queue-occupancy
+/// distribution at claim time.
+///
+/// Everything outside [`EngineMetrics::timing`] is a deterministic
+/// function of the grid contents and the store state — byte-identical
+/// across thread counts — and merges by addition
+/// ([`EngineMetrics::merge`] is commutative), so per-grid summaries can
+/// be folded in any order. Host-dependent values live only in the
+/// `timing` sub-object.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Total grid jobs (one `(config, workload)` cell each).
+    pub jobs: u64,
+    /// Jobs per warm-path arm (`off`, `straight`, `fork`, `transplant`,
+    /// `sample-*`, `store`), in deterministic key order.
+    pub jobs_by_warm: std::collections::BTreeMap<String, u64>,
+    /// Warm-pool snapshot forks served from an already-built snapshot.
+    pub snapshot_hits: u64,
+    /// Warm-pool snapshot cells built (or loaded from the store).
+    pub snapshot_misses: u64,
+    /// Checkpoint-mode twin transplants performed.
+    pub transplants: u64,
+    /// Compiled-trace arenas built from scratch (store loads excluded).
+    pub trace_builds: u64,
+    /// Persistent-store lookups served from disk, per tier
+    /// ([`ENGINE_STORE_TIER_LABELS`] order).
+    pub store_hits: [u64; ENGINE_STORE_TIERS],
+    /// Persistent-store lookups that missed, per tier.
+    pub store_misses: [u64; ENGINE_STORE_TIERS],
+    /// Entry bytes read by store hits, per tier.
+    pub store_bytes_read: [u64; ENGINE_STORE_TIERS],
+    /// Entry bytes published by store writes, per tier.
+    pub store_bytes_written: [u64; ENGINE_STORE_TIERS],
+    /// Store misses where a file existed but failed verification
+    /// (all tiers; the store only counts this globally).
+    pub store_corrupt: u64,
+    /// Unclaimed-queue depth observed at each job claim.
+    pub queue_depth: Log2Histogram,
+    /// Host-dependent timing, quarantined (see [`EngineTiming`]).
+    pub timing: EngineTiming,
+}
+
+impl EngineMetrics {
+    /// Adds one job served by warm-path `warm` at claim-time queue depth
+    /// `depth`.
+    pub fn record_job(&mut self, warm: &str, depth: u64) {
+        self.jobs += 1;
+        *self.jobs_by_warm.entry(warm.to_string()).or_insert(0) += 1;
+        self.queue_depth.record(depth);
+    }
+
+    /// Merges `other` into `self` (commutative apart from
+    /// `timing.workers`, which takes the max).
+    pub fn merge(&mut self, other: &EngineMetrics) {
+        self.jobs += other.jobs;
+        for (k, v) in &other.jobs_by_warm {
+            *self.jobs_by_warm.entry(k.clone()).or_insert(0) += v;
+        }
+        self.snapshot_hits += other.snapshot_hits;
+        self.snapshot_misses += other.snapshot_misses;
+        self.transplants += other.transplants;
+        self.trace_builds += other.trace_builds;
+        for i in 0..ENGINE_STORE_TIERS {
+            self.store_hits[i] += other.store_hits[i];
+            self.store_misses[i] += other.store_misses[i];
+            self.store_bytes_read[i] += other.store_bytes_read[i];
+            self.store_bytes_written[i] += other.store_bytes_written[i];
+        }
+        self.store_corrupt += other.store_corrupt;
+        self.queue_depth.merge(&other.queue_depth);
+        self.timing.merge(&other.timing);
+    }
+
+    /// Hand-written JSON rendering with derived hit rates; key order is
+    /// fixed and floats use six decimals, so the document is
+    /// byte-deterministic given equal counters.
+    pub fn to_json(&self) -> String {
+        let warm: Vec<String> = self
+            .jobs_by_warm
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        let tiers: Vec<String> = ENGINE_STORE_TIER_LABELS
+            .iter()
+            .enumerate()
+            .map(|(i, label)| {
+                format!(
+                    "\"{label}\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.6},\
+                     \"bytes_read\":{},\"bytes_written\":{}}}",
+                    self.store_hits[i],
+                    self.store_misses[i],
+                    ratio(
+                        self.store_hits[i],
+                        self.store_hits[i] + self.store_misses[i]
+                    ),
+                    self.store_bytes_read[i],
+                    self.store_bytes_written[i],
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":{ENGINE_METRICS_SCHEMA_VERSION},\"jobs\":{},\
+             \"jobs_by_warm\":{{{}}},\
+             \"warm_pool\":{{\"snapshot_hits\":{},\"snapshot_misses\":{},\
+             \"snapshot_hit_rate\":{:.6},\"transplants\":{},\"trace_builds\":{}}},\
+             \"store\":{{{},\"corrupt\":{}}},\
+             \"queue_depth\":{},\"timing\":{}}}",
+            self.jobs,
+            warm.join(","),
+            self.snapshot_hits,
+            self.snapshot_misses,
+            ratio(
+                self.snapshot_hits,
+                self.snapshot_hits + self.snapshot_misses
+            ),
+            self.transplants,
+            self.trace_builds,
+            tiers.join(","),
+            self.store_corrupt,
+            self.queue_depth.to_json(),
+            self.timing.to_json(),
+        )
+    }
+}
+
 mod codec_impls {
     //! Binary codecs for persisted experiment results (the on-disk store's
     //! job-result tier serialises whole [`SimReport`]s).
@@ -1389,5 +1561,73 @@ mod tests {
         assert!((s.wall_seconds() - 0.5).abs() < 1e-12);
         let zero = CoreStats::default();
         assert_eq!(zero.uops_per_sec(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod engine_metrics_tests {
+    use super::*;
+
+    fn sample() -> EngineMetrics {
+        let mut m = EngineMetrics::default();
+        m.record_job("fork", 12);
+        m.record_job("fork", 7);
+        m.record_job("transplant", 3);
+        m.snapshot_hits = 5;
+        m.snapshot_misses = 2;
+        m.transplants = 1;
+        m.trace_builds = 2;
+        m.store_hits = [3, 1, 0];
+        m.store_misses = [1, 1, 2];
+        m.store_bytes_read = [900, 40, 0];
+        m.store_bytes_written = [300, 80, 60];
+        m.store_corrupt = 1;
+        m.timing = EngineTiming {
+            workers: 4,
+            steals: 9,
+            wall_nanos: 1_000,
+        };
+        m
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let a = sample();
+        let mut b = EngineMetrics::default();
+        b.record_job("straight", 1);
+        b.timing.workers = 2;
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.jobs, 4);
+        assert_eq!(ab.jobs_by_warm["fork"], 2);
+        assert_eq!(ab.timing.workers, 4, "workers merge by max");
+        assert_eq!(ab.queue_depth.total(), 4);
+    }
+
+    #[test]
+    fn json_is_versioned_with_derived_rates() {
+        let j = sample().to_json();
+        assert!(j.starts_with(&format!(
+            "{{\"schema\":{ENGINE_METRICS_SCHEMA_VERSION},\"jobs\":3,"
+        )));
+        // BTreeMap keeps the warm arms sorted, so the document is stable.
+        assert!(j.contains("\"jobs_by_warm\":{\"fork\":2,\"transplant\":1}"));
+        assert!(j.contains("\"snapshot_hit_rate\":0.714286"));
+        assert!(j.contains("\"result\":{\"hits\":3,\"misses\":1,\"hit_rate\":0.750000"));
+        assert!(j.contains("\"trace\":{\"hits\":0,\"misses\":2,\"hit_rate\":0.000000"));
+        assert!(j.contains("\"corrupt\":1"));
+        // Host-dependent values appear only inside the timing sub-object.
+        assert!(j.contains("\"timing\":{\"workers\":4,\"steals\":9,\"wall_nanos\":1000}"));
+        assert!(j.ends_with("}"));
+    }
+
+    #[test]
+    fn empty_metrics_render_zero_rates() {
+        let j = EngineMetrics::default().to_json();
+        assert!(j.contains("\"snapshot_hit_rate\":0.000000"));
+        assert!(j.contains("\"jobs_by_warm\":{}"));
     }
 }

@@ -1,0 +1,170 @@
+//! Cost of the run-history ledger: record-parse and append micro-costs,
+//! load+trend over a populated ledger, and the end-to-end claim that
+//! arming the ledger does not change a sweep's output. Merged into
+//! `BENCH_engine.json` under the `history` section. Byte-identity of the
+//! recorded sweep's sampling document against the unrecorded reference
+//! is asserted before anything is written: the ledger is an observer of
+//! the sweep, never a participant.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rfp_bench::{
+    default_threads, trend_rows, update_bench_json, ExpStore, Harness, HistoryLedger, RunRecord,
+    WarmMode, WarmPool,
+};
+use rfp_core::CoreConfig;
+use rfp_stats::TrendParams;
+
+/// Trace length for the end-to-end sweeps (matches the store bench).
+const GRID_LEN: u64 = 32_000;
+
+/// Unique scratch ledger root, removed on drop.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        Scratch(std::env::temp_dir().join(format!(
+            "rfp-history-bench-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+
+    fn open(&self) -> Arc<ExpStore> {
+        Arc::new(ExpStore::open(&self.0).expect("scratch ledger opens"))
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A sampling document shaped exactly like `experiments --sampling-report`
+/// output, sized like the real suite, so the micro-benchmarks measure
+/// realistic record payloads without paying for a sweep.
+fn synthetic_report(workloads: usize) -> String {
+    let rows: Vec<String> = (0..workloads)
+        .map(|i| {
+            format!(
+                "{{\"workload\":\"w{i:02}\",\"ipc\":{:.6},\"coverage\":{:.6},\"cycles\":{},\
+                 \"cpi\":{{\"base\":0.412000,\"mem\":0.231000,\"rfp_hidden\":0.057000}}}}",
+                1.2 + (i as f64) * 0.01,
+                0.3 + (i as f64) * 0.002,
+                2_000 + i * 13,
+            )
+        })
+        .collect();
+    format!(
+        "{{\"config_key\":\"00000000deadbeef\",\"len\":{GRID_LEN},\"workloads\":[{}]}}\n",
+        rows.join(",")
+    )
+}
+
+/// Micro-costs: parsing a sweep document into a record, appending it to
+/// the ledger (one durable tmp+rename publish), and a full load+gate
+/// pass over a 100-run ledger.
+fn bench_ledger_micro(c: &mut Criterion) {
+    let report = synthetic_report(65);
+    c.bench_function("history_record_parse", |b| {
+        b.iter(|| {
+            black_box(
+                RunRecord::from_documents("run", "-", black_box(&report), None, None, None)
+                    .expect("synthetic report parses"),
+            )
+        });
+    });
+    c.bench_function("history_add", |b| {
+        let scratch = Scratch::new("add");
+        let ledger = HistoryLedger::new(scratch.open());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let r = RunRecord::from_documents(&format!("run-{i}"), "-", &report, None, None, None)
+                .expect("synthetic report parses");
+            black_box(ledger.add(r).expect("ledger append"));
+        });
+    });
+    c.bench_function("history_load_trend_100", |b| {
+        let scratch = Scratch::new("trend");
+        let ledger = HistoryLedger::new(scratch.open());
+        for i in 0..100u64 {
+            let r = RunRecord::from_documents(&format!("run-{i}"), "-", &report, None, None, None)
+                .expect("synthetic report parses");
+            ledger.add(r).expect("ledger append");
+        }
+        let params = TrendParams::default();
+        b.iter(|| {
+            let view = ledger.load();
+            black_box(trend_rows(&view, &[], &params).len())
+        });
+    });
+}
+
+/// End-to-end: the same sweep with the ledger disarmed and armed. The
+/// sampling document the armed run records must be byte-identical to the
+/// disarmed reference, and the append + gate costs ride into the JSON.
+fn bench_history_sweep(_c: &mut Criterion) {
+    let threads = default_threads();
+    let cfg = CoreConfig::tiger_lake().with_rfp();
+    let sweep = || -> (f64, String) {
+        let pool = WarmPool::new(WarmMode::Exact, GRID_LEN);
+        let mut h = Harness::with_pool(GRID_LEN, threads, pool);
+        h.pin_config(&cfg);
+        let t0 = Instant::now();
+        let report = h.sampling_json(&cfg);
+        (t0.elapsed().as_secs_f64(), report)
+    };
+    let (off_secs, reference) = sweep();
+    let (on_secs, recorded) = sweep();
+    // The ledger is downstream of the sweep: recording must start from
+    // the exact bytes an unrecorded run produces.
+    assert_eq!(
+        reference, recorded,
+        "sweep output must not depend on the ledger"
+    );
+
+    let scratch = Scratch::new("sweep");
+    let ledger = HistoryLedger::new(scratch.open());
+    let t0 = Instant::now();
+    for (label, ts) in [("bench-a", "-"), ("bench-b", "-"), ("bench-c", "-")] {
+        let r = RunRecord::from_documents(label, ts, &recorded, None, None, None)
+            .expect("sweep report parses");
+        ledger.add(r).expect("ledger append");
+    }
+    let add_micros = t0.elapsed().as_secs_f64() * 1e6 / 3.0;
+    let t0 = Instant::now();
+    let view = ledger.load();
+    let rows = trend_rows(&view, &[], &TrendParams::default());
+    let trend_micros = t0.elapsed().as_secs_f64() * 1e6;
+    assert!(
+        rows.iter().all(|(_, v)| !v.regressed),
+        "identical runs must gate clean"
+    );
+
+    let section = format!(
+        "{{\n    \"trace_len\": {GRID_LEN},\n    \"threads\": {threads},\n    \"sweep_off_secs\": {off_secs:.3},\n    \"sweep_on_secs\": {on_secs:.3},\n    \"sweep_output_identical\": true,\n    \"runs_recorded\": 3,\n    \"add_micros_per_run\": {add_micros:.1},\n    \"load_trend_micros\": {trend_micros:.1},\n    \"metric_series\": {}\n  }}",
+        rows.len(),
+    );
+    let path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_engine.json"
+    ));
+    update_bench_json(path, &[("history", section)]).unwrap_or_else(|e| {
+        eprintln!("error: write {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    println!(
+        "merged history section into {} (sweep {off_secs:.2}s vs {on_secs:.2}s, add {add_micros:.0}us/run, trend {trend_micros:.0}us over {} series)",
+        path.display(),
+        rows.len(),
+    );
+}
+
+criterion_group!(benches, bench_ledger_micro, bench_history_sweep);
+criterion_main!(benches);

@@ -54,6 +54,9 @@ fn main() {
     // Same strictness for `RFP_STORE` (this bin's grids do use it): an
     // empty or unwritable store path exits 2 before any simulation.
     let _ = rfp_bench::ExpStore::from_env();
+    // `RFP_HISTORY` (the run-history ledger, written by `experiments`)
+    // gets the same treatment.
+    let _ = rfp_bench::history_store_from_env();
     // And for `RFP_ENGINE_TRACE` — even when `--engine-trace-out`
     // overrides it, a malformed env value must fail here.
     let _ = engine_trace_from_env();

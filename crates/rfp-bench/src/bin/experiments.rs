@@ -74,13 +74,16 @@
 use std::sync::Arc;
 
 use rfp_bench::{
-    default_threads, diff_metrics_with, engine_trace_from_env, inspect_windows_from_env,
-    inspect_workload, render_report, render_store_stats, sampling_error_report_json,
-    telemetry_jsonl, trace_len_from_env, trace_workload_json, write_engine_trace, EngineTracePath,
-    ExpStore, Harness, ReportInputs, ReportPath, WarmPool, DEFAULT_TRACE_LEN,
+    default_threads, diff_metrics_with, engine_trace_from_env, history_export_json,
+    history_store_from_env, inspect_windows_from_env, inspect_workload, parse_trend_tolerances,
+    render_history_list, render_history_show, render_report, render_store_stats,
+    sampling_error_report_json, telemetry_jsonl, trace_len_from_env, trace_workload_json,
+    trend_rows, write_engine_trace, EngineTracePath, ExpStore, Harness, HistoryLedger,
+    ReportInputs, ReportPath, RunRecord, WarmPool, DEFAULT_TRACE_LEN,
 };
 use rfp_core::{CoreConfig, OracleMode};
 use rfp_obs::EngineTracer;
+use rfp_stats::{render_trend_table, TrendParams};
 
 /// Extra experiment ids accepted by `run` but excluded from `all` (their
 /// stdout carries probe-derived numbers, which `all` keeps out so its
@@ -107,12 +110,20 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
         "condense two --sampling-report docs into p50/p95/max error bounds",
     ),
     (
-        "store stats | gc --max-bytes N | clear",
+        "store stats | gc --max-bytes N [--include-history] | clear",
         "inspect / LRU-evict / empty the persistent experiment store",
     ),
     (
         "report --report-out FILE [--metrics F] [--profile F] ...",
         "fold the pipeline's JSON docs into one static HTML dashboard",
+    ),
+    (
+        "history add --run-label L --sampling-report F ... | list | show | export",
+        "append to / inspect the run-history ledger (history/ store tier)",
+    ),
+    (
+        "trend [--tolerances FILE] [--window N]",
+        "gate the ledger's recent runs against history (exit 1 on regression)",
     ),
 ];
 
@@ -151,6 +162,22 @@ const SIDE_FLAGS: &[(&str, &str)] = &[
     (
         "--no-store",
         "disable the persistent store even when RFP_STORE is set",
+    ),
+    (
+        "--history DIR",
+        "run-history ledger root (overrides RFP_HISTORY / the store root)",
+    ),
+    (
+        "--no-history",
+        "disable ledger recording even when RFP_HISTORY/RFP_STORE is set",
+    ),
+    (
+        "--run-label L",
+        "record this sweep in the ledger under label L (needs a ledger root)",
+    ),
+    (
+        "--timestamp T",
+        "caller-supplied timestamp for --run-label (never generated; default -)",
     ),
     (
         "--sampling-report FILE",
@@ -212,6 +239,10 @@ fn usage() -> String {
             "persistent experiment store directory (off when unset)".to_string(),
         ),
         (
+            "RFP_HISTORY".to_string(),
+            "run-history ledger directory (falls back to RFP_STORE)".to_string(),
+        ),
+        (
             "RFP_ENGINE_TRACE".to_string(),
             "engine self-trace output path (off when unset)".to_string(),
         ),
@@ -258,6 +289,17 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(v)
 }
 
+/// Removes a bare `--flag` (no value) from `args`, returning whether it
+/// was present.
+fn take_bare(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
 /// Resolves the persistent store from flags and environment: `--no-store`
 /// wins, then `--store DIR`, then `RFP_STORE`. Malformed or unwritable
 /// values exit 2 with a contextual message.
@@ -271,6 +313,37 @@ fn resolve_store(store_flag: Option<&str>, no_store: bool) -> Option<Arc<ExpStor
     }
 }
 
+/// Resolves the run-history ledger root: `--no-history` wins, then
+/// `--history DIR`, then `RFP_HISTORY`, then the persistent store
+/// (`--store`/`RFP_STORE`) — the ledger is the `history/` tier of the
+/// same on-disk layout, so a store root doubles as a ledger root.
+fn resolve_history(
+    history_flag: Option<&str>,
+    no_history: bool,
+    store_flag: Option<&str>,
+    no_store: bool,
+) -> Option<Arc<ExpStore>> {
+    if no_history {
+        return None;
+    }
+    if let Some(dir) = history_flag {
+        return Some(ExpStore::open_or_die(
+            std::path::Path::new(dir),
+            "--history",
+        ));
+    }
+    history_store_from_env().or_else(|| resolve_store(store_flag, no_store))
+}
+
+/// Exits 2 with the shared "no ledger" message.
+fn no_ledger_configured() -> ! {
+    eprintln!(
+        "error: no run-history ledger configured (set RFP_HISTORY or pass --history DIR; \
+         a persistent store root also works — the ledger is its history/ tier)"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     // Validate every env knob up front so a malformed value fails the
     // pipeline at its first command instead of mid-sweep (the values are
@@ -279,6 +352,7 @@ fn main() {
     // must fail the sweep's first command, not its last.
     let _ = inspect_windows_from_env();
     let _ = ExpStore::from_env();
+    let _ = history_store_from_env();
     let _ = engine_trace_from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // The report generator is pure file folding — dispatch before any
@@ -288,7 +362,7 @@ fn main() {
             eprintln!(
                 "usage: experiments report --report-out FILE [--metrics F] [--profile F] \
                  [--sampling-report F] [--sampling-error F] [--engine-trace F] \
-                 [--telemetry F] [--bench F]"
+                 [--telemetry F] [--bench F] [--history F]"
             );
             std::process::exit(2);
         });
@@ -304,6 +378,7 @@ fn main() {
             engine_trace: take_flag(&mut args, "--engine-trace").map(|p| read_or_die(&p)),
             telemetry: take_flag(&mut args, "--telemetry").map(|p| read_or_die(&p)),
             bench: take_flag(&mut args, "--bench").map(|p| read_or_die(&p)),
+            history: take_flag(&mut args, "--history").map(|p| read_or_die(&p)),
         };
         if args.len() != 1 {
             eprintln!("error: unexpected report argument(s): {:?}", &args[1..]);
@@ -325,12 +400,7 @@ fn main() {
     // simulation setup.
     if args.first().map(String::as_str) == Some("store") {
         let store_flag = take_flag(&mut args, "--store");
-        let no_store = if let Some(i) = args.iter().position(|a| a == "--no-store") {
-            args.remove(i);
-            true
-        } else {
-            false
-        };
+        let no_store = take_bare(&mut args, "--no-store");
         let Some(store) = resolve_store(store_flag.as_deref(), no_store) else {
             eprintln!("error: no store configured (set RFP_STORE or pass --store DIR)");
             std::process::exit(2);
@@ -341,8 +411,9 @@ fn main() {
                 std::process::exit(0);
             }
             Some("gc") => {
+                let include_history = take_bare(&mut args, "--include-history");
                 let max = take_flag(&mut args, "--max-bytes").unwrap_or_else(|| {
-                    eprintln!("usage: experiments store gc --max-bytes N");
+                    eprintln!("usage: experiments store gc --max-bytes N [--include-history]");
                     std::process::exit(2);
                 });
                 let max: u64 = max.parse().unwrap_or_else(|e| {
@@ -350,10 +421,10 @@ fn main() {
                     std::process::exit(2);
                 });
                 if args.len() != 2 {
-                    eprintln!("usage: experiments store gc --max-bytes N");
+                    eprintln!("usage: experiments store gc --max-bytes N [--include-history]");
                     std::process::exit(2);
                 }
-                let (entries, bytes) = store.gc(max);
+                let (entries, bytes) = store.gc(max, include_history);
                 println!("evicted {entries} entries ({bytes} bytes)");
                 print!("{}", render_store_stats(&store));
                 std::process::exit(0);
@@ -364,10 +435,133 @@ fn main() {
                 std::process::exit(0);
             }
             _ => {
-                eprintln!("usage: experiments store stats | gc --max-bytes N | clear");
+                eprintln!(
+                    "usage: experiments store stats | gc --max-bytes N [--include-history] | clear"
+                );
                 std::process::exit(2);
             }
         }
+    }
+    // The ledger subcommands are pure file work over the history tier —
+    // dispatch before any simulation setup.
+    if args.first().map(String::as_str) == Some("history") {
+        let history_flag = take_flag(&mut args, "--history");
+        let no_history = take_bare(&mut args, "--no-history");
+        let store_flag = take_flag(&mut args, "--store");
+        let no_store = take_bare(&mut args, "--no-store");
+        let Some(store) = resolve_history(
+            history_flag.as_deref(),
+            no_history,
+            store_flag.as_deref(),
+            no_store,
+        ) else {
+            no_ledger_configured();
+        };
+        let ledger = HistoryLedger::new(store);
+        match args.get(1).map(String::as_str) {
+            Some("add") => {
+                let usage = || -> ! {
+                    eprintln!(
+                        "usage: experiments history add --run-label L --sampling-report F \
+                         [--timestamp T] [--sampling-error F] [--engine-trace F] [--bench F]"
+                    );
+                    std::process::exit(2);
+                };
+                let Some(label) = take_flag(&mut args, "--run-label") else {
+                    usage();
+                };
+                let timestamp = take_flag(&mut args, "--timestamp").unwrap_or_else(|| "-".into());
+                let Some(report) =
+                    take_flag(&mut args, "--sampling-report").map(|p| read_or_die(&p))
+                else {
+                    usage();
+                };
+                let error = take_flag(&mut args, "--sampling-error").map(|p| read_or_die(&p));
+                let trace = take_flag(&mut args, "--engine-trace").map(|p| read_or_die(&p));
+                let bench = take_flag(&mut args, "--bench").map(|p| read_or_die(&p));
+                if args.len() != 2 {
+                    usage();
+                }
+                let outcome = RunRecord::from_documents(
+                    &label,
+                    &timestamp,
+                    &report,
+                    error.as_deref(),
+                    trace.as_deref(),
+                    bench.as_deref(),
+                )
+                .and_then(|r| ledger.add(r));
+                match outcome {
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                    Ok(seq) => {
+                        println!("recorded run {label:?} as ledger seq {seq}");
+                        std::process::exit(0);
+                    }
+                }
+            }
+            Some("list") if args.len() == 2 => {
+                print!("{}", render_history_list(&ledger.load()));
+                std::process::exit(0);
+            }
+            Some("show") if args.len() == 2 => {
+                print!("{}", render_history_show(&ledger.load()));
+                std::process::exit(0);
+            }
+            Some("export") if args.len() == 2 => {
+                print!("{}", history_export_json(&ledger.load()));
+                std::process::exit(0);
+            }
+            _ => {
+                eprintln!(
+                    "usage: experiments history add --run-label L --sampling-report F ... \
+                     | list | show | export"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.first().map(String::as_str) == Some("trend") {
+        let history_flag = take_flag(&mut args, "--history");
+        let no_history = take_bare(&mut args, "--no-history");
+        let store_flag = take_flag(&mut args, "--store");
+        let no_store = take_bare(&mut args, "--no-store");
+        let tolerances = match take_flag(&mut args, "--tolerances").map(|p| read_or_die(&p)) {
+            None => Vec::new(),
+            Some(text) => parse_trend_tolerances(&text).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }),
+        };
+        let mut params = TrendParams::default();
+        if let Some(w) = take_flag(&mut args, "--window") {
+            match w.parse::<usize>() {
+                Ok(n) if n >= 1 => params.window = n,
+                _ => {
+                    eprintln!("--window needs a positive integer, got {w}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if args.len() != 1 {
+            eprintln!("usage: experiments trend [--tolerances FILE] [--window N]");
+            std::process::exit(2);
+        }
+        let Some(store) = resolve_history(
+            history_flag.as_deref(),
+            no_history,
+            store_flag.as_deref(),
+            no_store,
+        ) else {
+            no_ledger_configured();
+        };
+        let view = HistoryLedger::new(store).load();
+        let rows = trend_rows(&view, &tolerances, &params);
+        print!("{}", render_trend_table(&rows));
+        let regressed = rows.iter().any(|(_, v)| v.regressed);
+        std::process::exit(if regressed { 1 } else { 0 });
     }
     // The sentinel subcommands are pure file comparison — dispatch
     // before any simulation setup.
@@ -452,11 +646,31 @@ fn main() {
         }
     }
     let store_flag = take_flag(&mut args, "--store");
-    let no_store = if let Some(i) = args.iter().position(|a| a == "--no-store") {
-        args.remove(i);
-        true
-    } else {
-        false
+    let no_store = take_bare(&mut args, "--no-store");
+    // `--run-label L` records the sweep's sampling summary into the
+    // run-history ledger after the experiments finish. The ledger is
+    // resolved up front so a misconfigured history dir fails before any
+    // simulation work, and the confirmation goes to stderr so stdout
+    // stays byte-identical with the ledger armed or disarmed.
+    let run_label = take_flag(&mut args, "--run-label");
+    let run_timestamp = take_flag(&mut args, "--timestamp");
+    let history_flag = take_flag(&mut args, "--history");
+    let no_history = take_bare(&mut args, "--no-history");
+    if run_timestamp.is_some() && run_label.is_none() {
+        eprintln!("--timestamp only makes sense with --run-label");
+        std::process::exit(2);
+    }
+    let ledger = match &run_label {
+        None => None,
+        Some(_) => match resolve_history(
+            history_flag.as_deref(),
+            no_history,
+            store_flag.as_deref(),
+            no_store,
+        ) {
+            Some(store) => Some(HistoryLedger::new(store)),
+            None => no_ledger_configured(),
+        },
     };
     let trace_out = take_flag(&mut args, "--trace-out");
     let trace_workload =
@@ -484,7 +698,8 @@ fn main() {
         || collapsed_out.is_some()
         || telemetry_out.is_some()
         || sampling_out.is_some()
-        || engine_trace_out.is_some();
+        || engine_trace_out.is_some()
+        || ledger.is_some();
     if (args.is_empty() && !side_outputs) || args.iter().any(|a| a == "--help" || a == "-h") {
         eprint!("{}", usage());
         std::process::exit(if args.is_empty() && !side_outputs {
@@ -528,6 +743,7 @@ fn main() {
         || profile_out.is_some()
         || collapsed_out.is_some()
         || sampling_out.is_some()
+        || ledger.is_some()
         || ids.contains(&"profile")
         || ids.contains(&"timeliness")
     {
@@ -570,6 +786,25 @@ fn main() {
     if let Some(file) = &sampling_out {
         write_or_die(file, &h.sampling_json(&rfp_cfg));
         eprintln!("wrote per-workload sampling summary to {file}");
+    }
+    if let (Some(label), Some(ledger)) = (&run_label, &ledger) {
+        let timestamp = run_timestamp.as_deref().unwrap_or("-");
+        let outcome = RunRecord::from_documents(
+            label,
+            timestamp,
+            &h.sampling_json(&rfp_cfg),
+            None,
+            None,
+            None,
+        )
+        .and_then(|r| ledger.add(r));
+        match outcome {
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+            Ok(seq) => eprintln!("recorded run {label:?} as ledger seq {seq}"),
+        }
     }
     if let Some(dir) = &trace_out {
         let w = rfp_trace::by_name(&trace_workload).unwrap_or_else(|| {

@@ -136,12 +136,14 @@ fn main() {
     // it would in `experiments`/`calibrate`, so a typo'd export fails the
     // whole pipeline at its first command instead of half-applying.
     let _ = rfp_bench::SimMode::from_env();
-    // Same deal for `RFP_INSPECT_WINDOWS` (used by `experiments inspect`)
-    // and `RFP_STORE` (the persistent experiment store): this bin never
-    // touches either, but a malformed export must not half-work across a
-    // pipeline that also runs `experiments`.
+    // Same deal for `RFP_INSPECT_WINDOWS` (used by `experiments inspect`),
+    // `RFP_STORE` (the persistent experiment store), and `RFP_HISTORY`
+    // (the run-history ledger): this bin never touches them, but a
+    // malformed export must not half-work across a pipeline that also
+    // runs `experiments`.
     let _ = rfp_bench::inspect_windows_from_env();
     let _ = rfp_bench::ExpStore::from_env();
+    let _ = rfp_bench::history_store_from_env();
     let _ = rfp_bench::engine_trace_from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--threads") {

@@ -21,6 +21,7 @@
 mod diff;
 mod engine;
 mod engine_trace;
+mod history;
 mod inspect;
 mod report;
 mod store;
@@ -49,6 +50,11 @@ pub use engine::{
 };
 pub use engine_trace::{
     engine_metrics, engine_trace_from_env, engine_trace_json, write_engine_trace, EngineTracePath,
+};
+pub use history::{
+    history_export_json, history_store_from_env, parse_trend_tolerances, render_history_list,
+    render_history_show, trend_rows, HistoryDir, HistoryLedger, LedgerView, RunRecord,
+    SamplingErrorSummary, WorkloadRow, HISTORY_SCHEMA_VERSION, TREND_METRICS,
 };
 pub use inspect::{inspect_workload, InspectOutcome, INSPECT_LEAD_UOPS};
 pub use report::{render_report, ReportInputs, ReportPath};

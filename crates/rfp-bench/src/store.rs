@@ -14,6 +14,11 @@
 //!   still skips every warmup.
 //! - `traces/` — one [`CompiledTrace`](rfp_trace::CompiledTrace) arena
 //!   per `(trace params, workload)`.
+//! - `history/` — the append-only run-history ledger
+//!   (`crate::history`): one `RunRecord` per labelled sweep. Unlike the
+//!   three cache tiers above, ledger entries are *records*, not
+//!   recomputable cache state, so [`ExpStore::gc`] excludes the tier
+//!   unless explicitly asked (`store gc --include-history`).
 //!
 //! Entries are content-addressed: the file name is the FNV-1a digest of
 //! a canonical key string, and the full key is stored *inside* the entry
@@ -49,7 +54,7 @@ const MAGIC: &[u8; 8] = b"RFPSTORE";
 /// entries then read as misses and are overwritten by fresh results.
 pub const STORE_SCHEMA_VERSION: u32 = 1;
 
-/// The three content tiers of an [`ExpStore`].
+/// The four content tiers of an [`ExpStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Tier {
     /// Finished per-job [`SimReport`](rfp_stats::SimReport)s.
@@ -58,11 +63,13 @@ pub enum Tier {
     Warm,
     /// Compiled trace arenas.
     Trace,
+    /// Append-only run-history ledger records (`crate::history`).
+    History,
 }
 
 impl Tier {
     /// All tiers, in directory-listing order.
-    pub const ALL: [Tier; 3] = [Tier::Result, Tier::Warm, Tier::Trace];
+    pub const ALL: [Tier; 4] = [Tier::Result, Tier::Warm, Tier::Trace, Tier::History];
 
     /// Subdirectory name under the store root.
     pub fn dir(self) -> &'static str {
@@ -70,6 +77,7 @@ impl Tier {
             Tier::Result => "results",
             Tier::Warm => "warm",
             Tier::Trace => "traces",
+            Tier::History => "history",
         }
     }
 
@@ -78,6 +86,7 @@ impl Tier {
             Tier::Result => 0,
             Tier::Warm => 1,
             Tier::Trace => 2,
+            Tier::History => 3,
         }
     }
 }
@@ -331,9 +340,14 @@ impl ExpStore {
 
     /// Every `.bin` entry currently on disk: `(path, bytes, mtime)`.
     /// Unreadable entries are skipped (they are unreadable for `gc` too).
-    fn entries(&self) -> Vec<(PathBuf, u64, SystemTime)> {
+    /// `include_history` controls whether ledger records are listed —
+    /// the gc path defaults to leaving them alone.
+    fn entries(&self, include_history: bool) -> Vec<(PathBuf, u64, SystemTime)> {
         let mut out = Vec::new();
         for tier in Tier::ALL {
+            if tier == Tier::History && !include_history {
+                continue;
+            }
             let Ok(dir) = std::fs::read_dir(self.root.join(tier.dir())) else {
                 continue;
             };
@@ -351,8 +365,8 @@ impl ExpStore {
     }
 
     /// Per-tier on-disk usage, in [`Tier::ALL`] order.
-    pub fn disk_stats(&self) -> [TierUsage; 3] {
-        let mut usage = [TierUsage::default(); 3];
+    pub fn disk_stats(&self) -> [TierUsage; 4] {
+        let mut usage = [TierUsage::default(); 4];
         for (i, tier) in Tier::ALL.iter().enumerate() {
             let Ok(dir) = std::fs::read_dir(self.root.join(tier.dir())) else {
                 continue;
@@ -372,9 +386,13 @@ impl ExpStore {
 
     /// Evicts least-recently-used entries (by mtime, which hits refresh)
     /// until total usage is at most `max_bytes`. Returns
-    /// `(entries_evicted, bytes_evicted)`.
-    pub fn gc(&self, max_bytes: u64) -> (u64, u64) {
-        let mut entries = self.entries();
+    /// `(entries_evicted, bytes_evicted)`. The history ledger is records,
+    /// not cache: its entries neither count toward the budget nor get
+    /// evicted unless `include_history` is set (`store gc
+    /// --include-history`), so LRU pressure can never silently eat the
+    /// run trajectory.
+    pub fn gc(&self, max_bytes: u64, include_history: bool) -> (u64, u64) {
+        let mut entries = self.entries(include_history);
         let mut total: u64 = entries.iter().map(|(_, n, _)| n).sum();
         entries.sort_by_key(|(_, _, mtime)| *mtime);
         let (mut evicted, mut evicted_bytes) = (0u64, 0u64);
@@ -485,6 +503,46 @@ fn decode_entry<T: Codec>(bytes: &[u8], tier: Tier, key: &str) -> Decoded<T> {
         Ok(v) => Decoded::Value(v),
         Err(_) => Decoded::Corrupt,
     }
+}
+
+/// Verifies and decodes one entry *without* a lookup key — the ledger's
+/// listing path, which enumerates a whole tier directory and so learns
+/// each entry's key from the entry itself. Every check of
+/// [`decode_entry`] except stored-key equality applies; the stored key
+/// is returned alongside the payload. `None` on any verification or
+/// decode failure (the caller skips the entry).
+pub(crate) fn decode_entry_unkeyed<T: Codec>(bytes: &[u8], tier: Tier) -> Option<(String, T)> {
+    if bytes.len() < MAGIC.len() + 8 {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let mut sum = Fnv1a::new();
+    sum.update(body);
+    if tail != sum.finish().to_le_bytes() {
+        return None;
+    }
+    let mut r = ByteReader::new(body);
+    if r.take(MAGIC.len()).ok() != Some(MAGIC) {
+        return None;
+    }
+    if u32::decode(&mut r).ok() != Some(STORE_SCHEMA_VERSION) {
+        return None;
+    }
+    if r.get_u8().ok() != Some(tier.tag()) {
+        return None;
+    }
+    let key = String::decode(&mut r).ok()?;
+    let payload = r
+        .get_u64()
+        .ok()
+        .and_then(|n| usize::try_from(n).ok())
+        .and_then(|n| r.take(n).ok())?;
+    if !r.is_empty() {
+        return None;
+    }
+    rfp_types::codec::decode_from_slice(payload)
+        .ok()
+        .map(|v| (key, v))
 }
 
 /// Canonical result-tier key for one grid job. Everything that can
@@ -713,7 +771,7 @@ mod tests {
         }
         let total: u64 = store.disk_stats().iter().map(|u| u.bytes).sum();
         let per_entry = total / 8;
-        let (evicted, evicted_bytes) = store.gc(total - 3 * per_entry);
+        let (evicted, evicted_bytes) = store.gc(total - 3 * per_entry, false);
         assert_eq!(evicted, 3, "evicts just enough entries");
         assert_eq!(evicted_bytes, 3 * per_entry);
         // The survivors are the *newest* five.
@@ -733,6 +791,48 @@ mod tests {
         }
         assert_eq!(store.clear(), 5);
         assert_eq!(store.disk_stats().iter().map(|u| u.entries).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn gc_spares_the_history_tier_unless_asked() {
+        let s = Scratch::new("gc-history");
+        let store = &s.0;
+        store.put(Tier::Result, "cache-entry", &vec![0u64; 64]);
+        store.put(Tier::History, "ledger-entry", &vec![1u64; 64]);
+        // A zero-byte budget evicts every *cache* entry, but the ledger
+        // survives by default...
+        let (evicted, _) = store.gc(0, false);
+        assert_eq!(evicted, 1, "only the cache entry goes");
+        assert!(store
+            .get::<Vec<u64>>(Tier::History, "ledger-entry")
+            .is_some());
+        // ...and goes only under --include-history.
+        let (evicted, _) = store.gc(0, true);
+        assert_eq!(evicted, 1);
+        assert_eq!(store.disk_stats().iter().map(|u| u.entries).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn unkeyed_decode_round_trips_and_rejects_damage() {
+        let s = Scratch::new("unkeyed");
+        let store = &s.0;
+        let value: Vec<u64> = vec![9, 8, 7];
+        store.put(Tier::History, "history|seq=1|label=a", &value);
+        let path = store.entry_path(Tier::History, "history|seq=1|label=a");
+        let bytes = std::fs::read(&path).expect("entry");
+        let (key, back) =
+            decode_entry_unkeyed::<Vec<u64>>(&bytes, Tier::History).expect("verified");
+        assert_eq!(key, "history|seq=1|label=a");
+        assert_eq!(back, value);
+        // Wrong tier, truncation, and a bit flip all read as None.
+        assert!(decode_entry_unkeyed::<Vec<u64>>(&bytes, Tier::Result).is_none());
+        assert!(
+            decode_entry_unkeyed::<Vec<u64>>(&bytes[..bytes.len() / 2], Tier::History).is_none()
+        );
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        assert!(decode_entry_unkeyed::<Vec<u64>>(&bad, Tier::History).is_none());
     }
 
     #[test]

@@ -726,6 +726,75 @@ mod persistent_store {
     }
 
     #[test]
+    fn history_show_and_trend_are_byte_identical_across_threads_and_store_states() {
+        // The run-history ledger records only the deterministic stratum
+        // of a sweep, so `history show` and `trend` over records produced
+        // at any thread count, with the store off, cold or warm, must
+        // render byte-identical text. Host timings ride along in the
+        // records but are quarantined out of everything rendered here.
+        use rfp_bench::{render_history_show, Harness, HistoryLedger, RunRecord};
+        use rfp_stats::{render_trend_table, TrendParams};
+        let len = 1_500;
+        let cfg = CoreConfig::tiger_lake().with_rfp();
+        let record_text = |pool: WarmPool, threads: usize| -> (String, String) {
+            let mut h = Harness::with_pool(len, threads, pool);
+            h.pin_config(&cfg);
+            let report = h.sampling_json(&cfg);
+            // Two records from the same sweep in a fresh ledger: `show`
+            // exercises the full canonical text, `trend` the gating math
+            // (a flat two-point series must come out clean).
+            let scratch = Scratch::new("hist-ledger");
+            let ledger = HistoryLedger::new(scratch.open());
+            for (label, ts) in [("run-a", "-"), ("run-b", "2026-08-09")] {
+                let r = RunRecord::from_documents(label, ts, &report, None, None, None)
+                    .expect("sweep report parses");
+                ledger.add(r).expect("ledger append");
+            }
+            let view = ledger.load();
+            let show = render_history_show(&view);
+            let trend =
+                render_trend_table(&rfp_bench::trend_rows(&view, &[], &TrendParams::default()));
+            (show, trend)
+        };
+        // One shared store, pre-filled so the "warm" arm is all hits.
+        let warm_scratch = Scratch::new("hist-warm");
+        {
+            let pool = WarmPool::new(WarmMode::Exact, len).with_store(Some(warm_scratch.open()));
+            let mut h = Harness::with_pool(len, 2, pool);
+            h.pin_config(&cfg);
+            let _ = h.sampling_json(&cfg);
+        }
+        let mut reference: Option<(String, String)> = None;
+        for threads in [1, 2, 8] {
+            for state in ["off", "cold", "warm"] {
+                let cold_scratch = Scratch::new("hist-cold");
+                let pool = match state {
+                    "off" => WarmPool::new(WarmMode::Exact, len),
+                    "cold" => {
+                        WarmPool::new(WarmMode::Exact, len).with_store(Some(cold_scratch.open()))
+                    }
+                    _ => WarmPool::new(WarmMode::Exact, len).with_store(Some(warm_scratch.open())),
+                };
+                let got = record_text(pool, threads);
+                assert!(
+                    got.0.contains("2 run(s)"),
+                    "{state} t{threads}: both records must land"
+                );
+                assert!(
+                    got.1.ends_with("no regressions\n"),
+                    "{state} t{threads}: a flat series must gate clean"
+                );
+                match &reference {
+                    None => reference = Some(got),
+                    Some(r) => {
+                        assert_eq!(&got, r, "{state} t{threads}: ledger rendering diverged")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn engine_spans_are_deterministic_across_store_states_and_threads() {
         // Store traffic spans key on content addresses, so their
         // deterministic stratum is thread-invariant for a fixed store

@@ -29,6 +29,7 @@ use std::fmt::Write as _;
 mod anomaly;
 mod cpi;
 mod profile;
+mod trend;
 
 pub use anomaly::{detect_anomalies, AnomalyWindow, ANOMALY_Z_THRESHOLD};
 pub use cpi::{CpiBucket, CpiReport, CpiStack, CPI_BUCKETS, CPI_INTERVALS, CPI_INTERVAL_SHIFT};
@@ -37,6 +38,7 @@ pub use profile::{
     PROFILE_DROP_REASONS,
 };
 pub use rfp_types::geomean;
+pub use trend::{detect_trend, render_trend_table, Direction, TrendParams, TrendVerdict};
 
 /// Host-side wall-clock measurement attached to a run.
 ///

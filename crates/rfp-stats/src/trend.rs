@@ -1,0 +1,413 @@
+//! Deterministic regression / change-point detection over a run-history
+//! metric series (the `experiments trend` gate).
+//!
+//! The ledger (`rfp-bench/src/history.rs`) provides one ordered series
+//! per `(workload, metric)` pair; this module decides whether the most
+//! recent runs regressed against the older reference. Everything here is
+//! pure f64 arithmetic over an already-ordered slice — no clocks, no
+//! randomness, no iteration-order dependence — so verdicts are
+//! byte-identical across thread counts, store states and platforms
+//! (enforced by `rfp-bench/tests/parallel_determinism.rs`).
+//!
+//! Two statistics are combined, mirroring the window-selection style of
+//! [`detect_anomalies`](crate::detect_anomalies):
+//!
+//! 1. **Mean-shift z** — the recent-window mean versus the reference
+//!    distribution, `z = (recent − ref) / (ref_std / √w)`, with the same
+//!    `MIN_STD` flat-series guard the anomaly detector uses.
+//! 2. **Rank-sum z** — a Mann-Whitney U normal approximation with
+//!    midranks for ties. Rank-based, so a single extreme outlier in the
+//!    reference cannot manufacture (or mask) a shift on its own.
+//!
+//! A metric regresses only when the shift is *adverse* for its
+//! direction, larger than the committed relative tolerance, and — when
+//! the reference has any spread at all — both statistics clear
+//! [`TrendParams::z_threshold`]. A flat reference (`std ≤ MIN_STD`)
+//! falls back to the tolerance test alone, so a two-run ledger can
+//! already gate an injected step (the CI smoke path).
+
+use crate::TextTable;
+
+/// Shares below this standard deviation are treated as flat (no z can
+/// fire): the same zero-variance guard as the anomaly detector.
+const MIN_STD: f64 = 1e-9;
+
+/// Which way "better" points for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger values are better (IPC, coverage).
+    HigherIsBetter,
+    /// Smaller values are better (cycles, stall shares).
+    LowerIsBetter,
+}
+
+/// Committed knobs of the trend gate. The defaults are the shipped
+/// policy; `baselines/trend_tolerances.json` overrides `rel_tolerance`
+/// per metric path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendParams {
+    /// Size of the recent window, clamped to half the series (so the
+    /// reference is never smaller than the window).
+    pub window: usize,
+    /// Adverse relative shift below which a move is noise, not a
+    /// regression.
+    pub rel_tolerance: f64,
+    /// Significance bar for both the mean-shift z and the rank-sum z.
+    pub z_threshold: f64,
+}
+
+impl Default for TrendParams {
+    fn default() -> Self {
+        TrendParams {
+            window: 3,
+            rel_tolerance: 0.01,
+            z_threshold: 2.0,
+        }
+    }
+}
+
+/// The verdict over one metric series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendVerdict {
+    /// Series length.
+    pub n: usize,
+    /// Recent-window size actually used (`min(window, n/2)`, at least 1).
+    pub window: usize,
+    /// Mean of the reference (everything before the recent window).
+    pub reference_mean: f64,
+    /// Mean of the recent window.
+    pub recent_mean: f64,
+    /// Signed relative shift `(recent − ref) / max(|ref|, 1e-12)` —
+    /// direction-agnostic; `adverse` already folds the direction in.
+    pub rel_delta: f64,
+    /// Mean-shift z of the recent mean against the reference
+    /// distribution (0 when the reference is flat).
+    pub z: f64,
+    /// Mann-Whitney rank-sum z (midranks; 0 when every value ties).
+    pub rank_z: f64,
+    /// Best single split point `k` (series[..k] vs series[k..]) by
+    /// absolute mean difference, ties toward the earlier split. `None`
+    /// for series shorter than 2.
+    pub change_point: Option<usize>,
+    /// Absolute mean difference at `change_point`.
+    pub change_magnitude: f64,
+    /// True when the shift is adverse for the metric's direction.
+    pub adverse: bool,
+    /// The gate: adverse, above tolerance, and statistically backed.
+    pub regressed: bool,
+    /// One-line human rationale, stable across runs.
+    pub reason: String,
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn pop_std(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Mann-Whitney U normal approximation with midranks: z of the recent
+/// sample's rank sum against its null distribution. Returns 0 when the
+/// tie-corrected variance vanishes (all values equal).
+fn rank_sum_z(reference: &[f64], recent: &[f64]) -> f64 {
+    let n1 = reference.len() as f64;
+    let n2 = recent.len() as f64;
+    let n = n1 + n2;
+    if n1 == 0.0 || n2 == 0.0 {
+        return 0.0;
+    }
+    // Midranks over the pooled sample, computed by counting (strictly
+    // smaller) + (ties + 1)/2 — O(n²) but n is a run ledger, not a trace.
+    let pooled: Vec<f64> = reference.iter().chain(recent).copied().collect();
+    let rank_of = |x: f64| -> f64 {
+        let below = pooled.iter().filter(|&&y| y < x).count() as f64;
+        let ties = pooled.iter().filter(|&&y| y == x).count() as f64;
+        below + (ties + 1.0) / 2.0
+    };
+    let recent_rank_sum: f64 = recent.iter().map(|&x| rank_of(x)).sum();
+    let mean_rank_sum = n2 * (n + 1.0) / 2.0;
+    // Tie-corrected variance of the rank sum.
+    let mut tie_term = 0.0;
+    let mut seen: Vec<f64> = Vec::new();
+    for &x in &pooled {
+        if seen.contains(&x) {
+            continue;
+        }
+        seen.push(x);
+        let t = pooled.iter().filter(|&&y| y == x).count() as f64;
+        tie_term += t * (t * t - 1.0);
+    }
+    let var = n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)).max(1.0));
+    if var <= 0.0 {
+        return 0.0;
+    }
+    (recent_rank_sum - mean_rank_sum) / var.sqrt()
+}
+
+/// Best single change point: the split `k` (1 ≤ k < n) maximizing the
+/// absolute difference between the two side means, ties toward the
+/// earlier split.
+fn change_point(series: &[f64]) -> Option<(usize, f64)> {
+    if series.len() < 2 {
+        return None;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for k in 1..series.len() {
+        let d = (mean(&series[..k]) - mean(&series[k..])).abs();
+        if best.is_none_or(|(_, bd)| d > bd) {
+            best = Some((k, d));
+        }
+    }
+    best
+}
+
+/// Runs the trend gate over one ordered metric series (oldest first).
+///
+/// Series with fewer than 2 points never regress (no reference to
+/// compare against). See the module docs for the decision rule.
+pub fn detect_trend(series: &[f64], dir: Direction, params: &TrendParams) -> TrendVerdict {
+    let n = series.len();
+    if n < 2 {
+        return TrendVerdict {
+            n,
+            window: 0,
+            reference_mean: mean(series),
+            recent_mean: mean(series),
+            rel_delta: 0.0,
+            z: 0.0,
+            rank_z: 0.0,
+            change_point: None,
+            change_magnitude: 0.0,
+            adverse: false,
+            regressed: false,
+            reason: "insufficient history (need >= 2 runs)".to_string(),
+        };
+    }
+    let w = params.window.min(n / 2).max(1);
+    let (reference, recent) = series.split_at(n - w);
+    let ref_mean = mean(reference);
+    let rec_mean = mean(recent);
+    let ref_std = pop_std(reference);
+    let rel_delta = (rec_mean - ref_mean) / ref_mean.abs().max(1e-12);
+    let z = if ref_std <= MIN_STD {
+        0.0
+    } else {
+        (rec_mean - ref_mean) / (ref_std / (w as f64).sqrt())
+    };
+    let rank_z = rank_sum_z(reference, recent);
+    let (cp, cp_mag) = change_point(series).map_or((None, 0.0), |(k, d)| (Some(k), d));
+    let adverse = match dir {
+        Direction::HigherIsBetter => rel_delta < 0.0,
+        Direction::LowerIsBetter => rel_delta > 0.0,
+    };
+    let over_tolerance = rel_delta.abs() > params.rel_tolerance;
+    // A flat reference carries no spread to test against: the committed
+    // tolerance is the whole decision (this is what lets a two-run
+    // ledger catch an injected step). Otherwise both statistics must
+    // agree, so one outlier in the reference cannot fire the gate.
+    let significant = if ref_std <= MIN_STD {
+        true
+    } else {
+        z.abs() >= params.z_threshold && rank_z.abs() >= params.z_threshold
+    };
+    let regressed = adverse && over_tolerance && significant;
+    let reason = if regressed {
+        format!(
+            "adverse shift {:+.4} over tolerance {:.4} (z={:.2}, rank_z={:.2})",
+            rel_delta, params.rel_tolerance, z, rank_z
+        )
+    } else if adverse && over_tolerance {
+        format!(
+            "adverse shift {:+.4} not significant (z={:.2}, rank_z={:.2})",
+            rel_delta, z, rank_z
+        )
+    } else if adverse {
+        format!(
+            "adverse shift {:+.4} within tolerance {:.4}",
+            rel_delta, params.rel_tolerance
+        )
+    } else {
+        "no adverse shift".to_string()
+    };
+    TrendVerdict {
+        n,
+        window: w,
+        reference_mean: ref_mean,
+        recent_mean: rec_mean,
+        rel_delta,
+        z,
+        rank_z,
+        change_point: cp,
+        change_magnitude: cp_mag,
+        adverse,
+        regressed,
+        reason,
+    }
+}
+
+/// Renders a deterministic verdict table for `experiments trend`: one
+/// row per `(metric, verdict)` in input order, plus a one-line summary.
+/// The table carries only deterministic fields, so its bytes depend on
+/// the series alone.
+pub fn render_trend_table(rows: &[(String, TrendVerdict)]) -> String {
+    let mut t = TextTable::new(&[
+        "metric", "n", "ref", "recent", "rel", "z", "rank_z", "split", "verdict",
+    ]);
+    let mut regressions = 0usize;
+    for (metric, v) in rows {
+        if v.regressed {
+            regressions += 1;
+        }
+        t.row(&[
+            metric,
+            &v.n.to_string(),
+            &format!("{:.6}", v.reference_mean),
+            &format!("{:.6}", v.recent_mean),
+            &format!("{:+.4}", v.rel_delta),
+            &format!("{:.2}", v.z),
+            &format!("{:.2}", v.rank_z),
+            &v.change_point.map_or("-".to_string(), |k| k.to_string()),
+            if v.regressed { "REGRESSED" } else { "ok" },
+        ]);
+    }
+    format!(
+        "{}\nchecked {} metric series: {}\n",
+        t.render(),
+        rows.len(),
+        if regressions == 0 {
+            "no regressions".to_string()
+        } else {
+            format!("{regressions} regression(s)")
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: TrendParams = TrendParams {
+        window: 3,
+        rel_tolerance: 0.01,
+        z_threshold: 2.0,
+    };
+
+    #[test]
+    fn flat_series_is_clean() {
+        let s = vec![1.5; 10];
+        for dir in [Direction::HigherIsBetter, Direction::LowerIsBetter] {
+            let v = detect_trend(&s, dir, &P);
+            assert!(!v.regressed, "{v:?}");
+            assert!(!v.adverse);
+            assert_eq!(v.rel_delta, 0.0);
+        }
+    }
+
+    #[test]
+    fn step_regression_fires_and_locates_the_step() {
+        // Cycles step up 20% at run 5: adverse for lower-is-better, flat
+        // reference → tolerance-only path, and the change point lands on
+        // the step.
+        let s = [100.0, 100.0, 100.0, 100.0, 100.0, 120.0, 120.0, 120.0];
+        let v = detect_trend(&s, Direction::LowerIsBetter, &P);
+        assert!(v.regressed, "{v:?}");
+        assert_eq!(v.change_point, Some(5), "{v:?}");
+        assert!(v.reason.contains("adverse shift"), "{}", v.reason);
+        // The same step reads as an improvement for higher-is-better.
+        let v = detect_trend(&s, Direction::HigherIsBetter, &P);
+        assert!(!v.regressed && !v.adverse, "{v:?}");
+    }
+
+    #[test]
+    fn two_run_ledger_catches_an_injected_step() {
+        // The CI smoke path: exactly two runs, the second one worse.
+        let v = detect_trend(&[2.0, 1.0], Direction::HigherIsBetter, &P);
+        assert!(v.regressed, "{v:?}");
+        assert_eq!(v.window, 1);
+        // ...and a clean pair stays clean.
+        let v = detect_trend(&[2.0, 2.0], Direction::HigherIsBetter, &P);
+        assert!(!v.regressed, "{v:?}");
+    }
+
+    #[test]
+    fn drift_regression_fires() {
+        // Monotonic 5%-per-run IPC decay: both statistics clear the bar.
+        let s: Vec<f64> = (0..10).map(|i| 2.0 * 0.95f64.powi(i)).collect();
+        let v = detect_trend(&s, Direction::HigherIsBetter, &P);
+        assert!(v.regressed, "{v:?}");
+        assert!(v.z.abs() >= 2.0 && v.rank_z.abs() >= 2.0, "{v:?}");
+    }
+
+    #[test]
+    fn single_outlier_in_the_reference_does_not_fire() {
+        // One bad historical run must not read as a current regression:
+        // the recent window equals the series mode, and the rank test
+        // sees no shift even though the reference mean moved.
+        let s = [1.0, 1.0, 1.0, 5.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let v = detect_trend(&s, Direction::HigherIsBetter, &P);
+        assert!(!v.regressed, "{v:?}");
+        // The split straddling the outlier still shows as the change
+        // point (max mean contrast is just after it).
+        assert_eq!(v.change_point, Some(4), "{v:?}");
+    }
+
+    #[test]
+    fn short_series_never_regress() {
+        for s in [&[][..], &[1.0][..]] {
+            let v = detect_trend(s, Direction::HigherIsBetter, &P);
+            assert!(!v.regressed);
+            assert!(v.reason.contains("insufficient"), "{}", v.reason);
+        }
+    }
+
+    #[test]
+    fn window_is_clamped_to_half_the_series() {
+        let v = detect_trend(&[1.0, 1.0, 1.0, 1.0], Direction::HigherIsBetter, &P);
+        assert_eq!(v.window, 2, "window 3 clamps to n/2");
+        let v = detect_trend(&[1.0, 1.0], Direction::HigherIsBetter, &P);
+        assert_eq!(v.window, 1);
+    }
+
+    #[test]
+    fn rank_z_handles_ties_without_blowup() {
+        assert_eq!(rank_sum_z(&[1.0, 1.0, 1.0], &[1.0, 1.0]), 0.0);
+        let z = rank_sum_z(&[1.0, 1.0, 2.0, 2.0], &[3.0, 3.0]);
+        assert!(z > 0.0 && z.is_finite(), "{z}");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_flags_regressions() {
+        let rows = vec![
+            (
+                "spec17_mcf.ipc".to_string(),
+                detect_trend(&[2.0, 2.0, 1.0], Direction::HigherIsBetter, &P),
+            ),
+            (
+                "spec17_mcf.cycles".to_string(),
+                detect_trend(&[100.0, 100.0, 100.0], Direction::LowerIsBetter, &P),
+            ),
+        ];
+        let text = render_trend_table(&rows);
+        assert_eq!(text, render_trend_table(&rows));
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("1 regression(s)"), "{text}");
+        assert!(text.contains("spec17_mcf.cycles"), "{text}");
+    }
+
+    #[test]
+    fn improvement_is_never_a_regression() {
+        let s = [1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0];
+        assert!(!detect_trend(&s, Direction::HigherIsBetter, &P).regressed);
+        let s = [200.0, 200.0, 200.0, 100.0, 100.0, 100.0];
+        assert!(!detect_trend(&s, Direction::LowerIsBetter, &P).regressed);
+    }
+}
